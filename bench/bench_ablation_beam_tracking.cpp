@@ -1,0 +1,86 @@
+// Ablation for Section 4.1's beam-management claim: "we can use the
+// predicted 6DoF motion information at the server to select the individual
+// beams and combined beams for the AP without beam searching."
+//
+// Compares predictive beam tracking (steer from predicted positions, zero
+// search cost) against the reactive 802.11ad baseline (ride the last swept
+// sector; re-train via SLS when it goes stale, paying the 5-20 ms outage
+// the paper quotes), across device mobility classes.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/session.h"
+#include "mmwave/sls.h"
+
+using namespace volcast;
+using namespace volcast::core;
+
+namespace {
+
+SessionConfig base_config(trace::DeviceType device, bool predictive) {
+  SessionConfig c;
+  c.user_count = 5;
+  c.device = device;
+  c.duration_s = 8.0;
+  c.master_points = 90'000;
+  c.video_frames = 30;
+  c.start_tier = 1;
+  c.predictive_beam_tracking = predictive;
+  return c;
+}
+
+void run_row(AsciiTable& table, const char* label, const SessionConfig& c) {
+  Session session(c);
+  const auto r = session.run();
+  table.row({label, AsciiTable::num(r.qoe.mean_fps(), 1),
+             AsciiTable::num(r.qoe.total_stall_s(), 2),
+             AsciiTable::num(r.qoe.mean_quality_tier(), 2),
+             std::to_string(r.sls_sweeps),
+             std::to_string(r.sls_outage_ticks)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: predictive beam tracking vs reactive SLS "
+              "(Sec 4.1) ===\n");
+  const mmwave::SlsProcedure sls;
+  std::printf("one full sector sweep over a 39-sector codebook costs "
+              "%.1f ms of link outage (paper: 5-20 ms)\n\n",
+              sls.outage_s(39) * 1e3);
+
+  AsciiTable table;
+  table.header({"configuration", "mean fps", "stall s", "tier", "sweeps",
+                "sweep-outage ticks"});
+  run_row(table, "PH (static)  reactive SLS",
+          base_config(trace::DeviceType::kSmartphone, false));
+  run_row(table, "PH (static)  predictive",
+          base_config(trace::DeviceType::kSmartphone, true));
+  run_row(table, "HM (roaming) reactive SLS",
+          base_config(trace::DeviceType::kHeadset, false));
+  run_row(table, "HM (roaming) predictive",
+          base_config(trace::DeviceType::kHeadset, true));
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("staleness-threshold sweep (HM users, reactive mode): how\n"
+              "aggressively re-sweeping trades outage for beam quality:\n");
+  AsciiTable sweep;
+  sweep.header({"resweep when stale by", "mean fps", "sweeps",
+                "outage ticks", "tier"});
+  for (double db : {2.0, 4.0, 6.0, 10.0, 20.0}) {
+    SessionConfig c = base_config(trace::DeviceType::kHeadset, false);
+    c.sls_staleness_db = db;
+    Session session(c);
+    const auto r = session.run();
+    sweep.row({AsciiTable::num(db, 0) + " dB",
+               AsciiTable::num(r.qoe.mean_fps(), 1),
+               std::to_string(r.sls_sweeps),
+               std::to_string(r.sls_outage_ticks),
+               AsciiTable::num(r.qoe.mean_quality_tier(), 2)});
+  }
+  std::printf("%s\n", sweep.render().c_str());
+  std::printf("expected shape: predictive tracking matches or beats every "
+              "reactive setting with zero search outage; roaming headsets "
+              "force the reactive baseline into frequent sweeps.\n");
+  return 0;
+}

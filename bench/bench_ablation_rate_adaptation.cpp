@@ -1,0 +1,92 @@
+// Ablation for Section 4.3 (cross-layer video rate adaptation): compares
+// adaptation policies (none / buffer-only / cross-layer) crossed with
+// bandwidth estimators (app-only / phy-only / cross-layer), and toggles
+// proactive blockage mitigation, in a crowded session where bodies
+// regularly cross LoS paths.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/session.h"
+
+using namespace volcast;
+using namespace volcast::core;
+
+namespace {
+
+SessionConfig stress_config() {
+  SessionConfig c;
+  c.user_count = 6;  // crowded: frequent body blockage
+  c.duration_s = 8.0;
+  c.master_points = 90'000;
+  c.video_frames = 30;
+  c.start_tier = 1;
+  return c;
+}
+
+void run_row(AsciiTable& table, const char* label, const SessionConfig& c) {
+  Session session(c);
+  const auto r = session.run();
+  table.row({label, AsciiTable::num(r.qoe.mean_fps(), 1),
+             AsciiTable::num(r.qoe.total_stall_s(), 2),
+             AsciiTable::num(r.qoe.mean_quality_tier(), 2),
+             AsciiTable::num(r.mean_airtime_utilization, 2),
+             std::to_string(r.reflection_switches),
+             std::to_string(r.outage_user_ticks)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: cross-layer rate adaptation (Sec 4.3) ===\n");
+  std::printf("6 users, 8 s, frequent body blockage\n\n");
+
+  AsciiTable table;
+  table.header({"policy / estimator", "mean fps", "stall s", "mean tier",
+                "airtime", "refl-switch", "outage-ticks"});
+
+  {
+    SessionConfig c = stress_config();
+    c.adaptation = AdaptationPolicy::kNone;
+    c.enable_blockage_mitigation = false;
+    run_row(table, "none (pinned tier)", c);
+  }
+  {
+    SessionConfig c = stress_config();
+    c.adaptation = AdaptationPolicy::kBufferOnly;
+    c.enable_blockage_mitigation = false;
+    run_row(table, "buffer-only", c);
+  }
+  {
+    SessionConfig c = stress_config();
+    c.adaptation = AdaptationPolicy::kCrossLayer;
+    c.estimator = BandwidthEstimator::kAppOnly;
+    c.enable_blockage_mitigation = false;
+    run_row(table, "cross-layer + app-only est", c);
+  }
+  {
+    SessionConfig c = stress_config();
+    c.adaptation = AdaptationPolicy::kCrossLayer;
+    c.estimator = BandwidthEstimator::kPhyOnly;
+    c.enable_blockage_mitigation = false;
+    run_row(table, "cross-layer + phy-only est", c);
+  }
+  {
+    SessionConfig c = stress_config();
+    c.adaptation = AdaptationPolicy::kCrossLayer;
+    c.estimator = BandwidthEstimator::kCrossLayer;
+    c.enable_blockage_mitigation = false;
+    run_row(table, "cross-layer est (no mitigation)", c);
+  }
+  {
+    SessionConfig c = stress_config();
+    c.adaptation = AdaptationPolicy::kCrossLayer;
+    c.estimator = BandwidthEstimator::kCrossLayer;
+    c.enable_blockage_mitigation = true;
+    run_row(table, "full cross-layer + mitigation", c);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: the pinned tier stalls under blockage; "
+              "buffer-only reacts late; the cross-layer estimator plus "
+              "proactive mitigation keeps FPS high at comparable quality.\n");
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Micro-benchmarks (google-benchmark) for the library's hot paths: codec
+// encode/decode, frustum culling, visibility computation, beam gain
+// evaluation, AWV synthesis and the grouping search. These are the budgets
+// that decide whether the cross-layer scheduler can run per frame interval
+// (33 ms at 30 FPS) on an edge server.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/grouping.h"
+#include "core/testbed.h"
+#include "mmwave/beam_design.h"
+#include "mmwave/link.h"
+#include "pointcloud/codec.h"
+#include "pointcloud/octree_codec.h"
+#include "pointcloud/video_generator.h"
+#include "viewport/similarity.h"
+#include "viewport/visibility.h"
+
+using namespace volcast;
+
+namespace {
+
+const vv::VideoGenerator& generator() {
+  static const vv::VideoGenerator gen([] {
+    vv::VideoConfig vc;
+    vc.points_per_frame = 100'000;
+    vc.frame_count = 4;
+    return vc;
+  }());
+  return gen;
+}
+
+void BM_CodecEncode(benchmark::State& state) {
+  const auto cloud = vv::thin(generator().frame(0),
+                              static_cast<double>(state.range(0)) / 100'000.0);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto blob = vv::encode(cloud);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cloud.size()));
+  state.counters["bits/pt"] =
+      8.0 * static_cast<double>(bytes) / static_cast<double>(cloud.size());
+}
+BENCHMARK(BM_CodecEncode)->Arg(10'000)->Arg(50'000)->Arg(100'000);
+
+void BM_CodecDecode(benchmark::State& state) {
+  const auto cloud = vv::thin(generator().frame(0),
+                              static_cast<double>(state.range(0)) / 100'000.0);
+  const auto blob = vv::encode(cloud);
+  for (auto _ : state) {
+    const auto back = vv::decode(blob);
+    benchmark::DoNotOptimize(back.points().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cloud.size()));
+}
+BENCHMARK(BM_CodecDecode)->Arg(10'000)->Arg(100'000);
+
+
+void BM_OctreeEncode(benchmark::State& state) {
+  const auto cloud = vv::thin(generator().frame(0),
+                              static_cast<double>(state.range(0)) / 100'000.0);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto blob = vv::octree_encode(cloud);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cloud.size()));
+  state.counters["bits/pt"] =
+      8.0 * static_cast<double>(bytes) / static_cast<double>(cloud.size());
+}
+BENCHMARK(BM_OctreeEncode)->Arg(10'000)->Arg(100'000);
+
+void BM_OctreeDecode(benchmark::State& state) {
+  const auto cloud = vv::thin(generator().frame(0),
+                              static_cast<double>(state.range(0)) / 100'000.0);
+  const auto blob = vv::octree_encode(cloud);
+  for (auto _ : state) {
+    const auto back = vv::octree_decode(blob);
+    benchmark::DoNotOptimize(back.points().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cloud.size()));
+}
+BENCHMARK(BM_OctreeDecode)->Arg(100'000);
+
+void BM_FrustumCulling(benchmark::State& state) {
+  const vv::CellGrid grid(generator().content_bounds(), 0.25);
+  const geo::Pose pose = geo::Pose::look_at({2.5, 0, 1.5}, {0, 0, 1.1});
+  const geo::Frustum frustum(pose, {});
+  for (auto _ : state) {
+    std::size_t visible = 0;
+    for (vv::CellId c = 0; c < grid.cell_count(); ++c)
+      if (frustum.intersects(grid.cell_bounds(c))) ++visible;
+    benchmark::DoNotOptimize(visible);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(grid.cell_count()));
+}
+BENCHMARK(BM_FrustumCulling);
+
+void BM_ComputeVisibility(benchmark::State& state) {
+  const vv::CellGrid grid(generator().content_bounds(),
+                          state.range(0) / 100.0);
+  const auto occupancy = grid.occupancy(generator().frame(0));
+  const geo::Pose pose = geo::Pose::look_at({2.5, 0, 1.5}, {0, 0, 1.1});
+  for (auto _ : state) {
+    const auto map = view::compute_visibility(grid, occupancy, pose, {});
+    benchmark::DoNotOptimize(map.visible_count());
+  }
+}
+BENCHMARK(BM_ComputeVisibility)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_BeamGain(benchmark::State& state) {
+  const core::Testbed testbed;
+  const mmwave::Awv beam = testbed.ap().steer_at({4, 3, 1.5});
+  Rng rng(1);
+  for (auto _ : state) {
+    const geo::Vec3 dir{rng.uniform(-1, 1), rng.uniform(0, 1),
+                        rng.uniform(-0.5, 0)};
+    benchmark::DoNotOptimize(testbed.ap().gain(beam, dir));
+  }
+}
+BENCHMARK(BM_BeamGain);
+
+void BM_RssEvaluation(benchmark::State& state) {
+  const core::Testbed testbed;
+  const mmwave::Awv beam = testbed.ap().steer_at({4, 3, 1.5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mmwave::rss_dbm(testbed.ap(), beam, testbed.channel(), {4, 3, 1.5},
+                        {}, testbed.budget()));
+  }
+}
+BENCHMARK(BM_RssEvaluation);
+
+void BM_CombineAwvs(benchmark::State& state) {
+  const core::Testbed testbed;
+  std::vector<mmwave::Awv> beams;
+  std::vector<double> rss;
+  for (int i = 0; i < state.range(0); ++i) {
+    beams.push_back(testbed.ap().steer_at({2.0 + i, 3, 1.5}));
+    rss.push_back(1e-6);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mmwave::combine_awvs(beams, rss).data());
+  }
+}
+BENCHMARK(BM_CombineAwvs)->Arg(2)->Arg(4);
+
+void BM_GroupingGreedy(benchmark::State& state) {
+  const auto users_count = static_cast<std::size_t>(state.range(0));
+  std::vector<view::VisibilityMap> maps(users_count,
+                                        view::VisibilityMap(64));
+  Rng rng(5);
+  for (auto& m : maps)
+    for (vv::CellId c = 0; c < 64; ++c)
+      if (rng.chance(0.4)) m.set(c);
+  std::vector<core::UserState> users(users_count);
+  for (std::size_t u = 0; u < users_count; ++u)
+    users[u] = {u, &maps[u], 10e6, 1200.0};
+  core::GrouperConfig config;
+  const core::GroupRateFn rate = [](std::span<const std::size_t>) {
+    return 900.0;
+  };
+  const core::OverlapBitsFn overlap = [&](std::span<const std::size_t> idx) {
+    return 4e6 * static_cast<double>(idx.size());
+  };
+  for (auto _ : state) {
+    const auto result = core::form_groups(users, config, rate, overlap);
+    benchmark::DoNotOptimize(result.groups.size());
+  }
+}
+BENCHMARK(BM_GroupingGreedy)->Arg(4)->Arg(7)->Arg(12);
+
+void BM_GroupIou(benchmark::State& state) {
+  view::VisibilityMap a(1024);
+  view::VisibilityMap b(1024);
+  Rng rng(9);
+  for (vv::CellId c = 0; c < 1024; ++c) {
+    if (rng.chance(0.3)) a.set(c);
+    if (rng.chance(0.3)) b.set(c);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(view::iou(a, b));
+}
+BENCHMARK(BM_GroupIou);
+
+}  // namespace
+
+BENCHMARK_MAIN();

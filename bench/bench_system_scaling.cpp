@@ -1,0 +1,92 @@
+// End-to-end system scaling (the paper's overall thesis + Section 5's
+// multi-AP extension): users vs. QoE for the full cross-layer system
+// against the unicast baseline, single AP and two APs.
+//
+// This regenerates the paper's headline claim in system form: the
+// cross-layer design either serves more users at 30 FPS or delivers higher
+// quality for the same user count, and multiple APs extend scaling through
+// spatial reuse.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/session.h"
+
+using namespace volcast;
+using namespace volcast::core;
+
+namespace {
+
+SessionConfig scaled_config(std::size_t users, bool cross_layer,
+                            std::size_t aps, double spread_rad = 2.0) {
+  SessionConfig c;
+  c.user_count = users;
+  c.duration_s = 5.0;
+  c.master_points = 160'000;
+  c.video_frames = 30;
+  c.ap_count = aps;
+  c.audience_spread_rad = spread_rad;
+  if (!cross_layer) {
+    c.enable_multicast = false;
+    c.enable_custom_beams = false;
+    c.enable_blockage_mitigation = false;
+    c.adaptation = AdaptationPolicy::kBufferOnly;
+    c.estimator = BandwidthEstimator::kAppOnly;
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== System scaling: users vs QoE ===\n");
+  std::printf("(scaled content; compare columns within a row)\n\n");
+
+  AsciiTable table;
+  table.header({"users", "baseline fps", "tier", "volcast fps", "tier"});
+  for (std::size_t users : {2u, 4u, 6u, 8u, 10u, 12u}) {
+    Session baseline(scaled_config(users, false, 1));
+    Session system(scaled_config(users, true, 1));
+    const auto rb = baseline.run();
+    const auto rs = system.run();
+    table.row({std::to_string(users),
+               AsciiTable::num(rb.qoe.mean_fps(), 1),
+               AsciiTable::num(rb.qoe.mean_quality_tier(), 2),
+               AsciiTable::num(rs.qoe.mean_fps(), 1),
+               AsciiTable::num(rs.qoe.mean_quality_tier(), 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Section 5 extension: spatial reuse needs spatially separated client
+  // groups — a surround audience (2*pi arc) is the regime where a second
+  // AP pays; a single tight arc is its worst case (both APs would beam
+  // into the same spot and interfere).
+  std::printf("multi-AP coordination with a surround audience (2*pi "
+              "arc):\n");
+  AsciiTable multi;
+  multi.header({"users", "1 AP fps", "tier", "2 APs fps", "tier"});
+  for (std::size_t users : {6u, 8u, 10u, 12u}) {
+    constexpr double kSurround = 6.283185307179586;
+    Session one(scaled_config(users, true, 1, kSurround));
+    Session two(scaled_config(users, true, 2, kSurround));
+    const auto r1 = one.run();
+    const auto r2 = two.run();
+    multi.row({std::to_string(users), AsciiTable::num(r1.qoe.mean_fps(), 1),
+               AsciiTable::num(r1.qoe.mean_quality_tier(), 2),
+               AsciiTable::num(r2.qoe.mean_fps(), 1),
+               AsciiTable::num(r2.qoe.mean_quality_tier(), 2)});
+  }
+  std::printf("%s\n", multi.render().c_str());
+
+  std::printf("cross-layer feature inventory at 6 users:\n");
+  Session detail(scaled_config(6, true, 1));
+  const auto r = detail.run();
+  std::printf("  multicast bit share      %.2f\n", r.multicast_bit_share);
+  std::printf("  mean multicast group     %.2f users\n", r.mean_group_size);
+  std::printf("  custom/stock group beams %zu/%zu\n", r.custom_beam_uses,
+              r.stock_beam_uses);
+  std::printf("  blockage forecasts       %zu\n", r.blockage_forecasts);
+  std::printf("  reflection beam switches %zu\n", r.reflection_switches);
+  std::printf("  airtime utilization      %.2f\n",
+              r.mean_airtime_utilization);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Telepresence lecture with captured trajectories: generates a 6-student
+// study, round-trips the traces through the VCTRACE text format (exactly
+// what you would do with real headset captures), and replays them through
+// the full cross-layer session — then asks the "what if" questions replay
+// makes possible: same audience, different system configurations.
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "core/session.h"
+#include "trace/trace_io.h"
+#include "trace/user_study.h"
+
+using namespace volcast;
+using namespace volcast::core;
+
+namespace {
+
+SessionConfig replay_config(const std::vector<trace::Trace>& traces) {
+  SessionConfig c;
+  c.user_count = traces.size();
+  c.duration_s = 8.0;
+  c.master_points = 90'000;
+  c.video_frames = 30;
+  c.replay_traces = traces;
+  return c;
+}
+
+void report(const char* label, const SessionResult& r) {
+  std::printf("%-30s fps %.1f | stall %.2f s | tier %.2f | fairness %.2f | "
+              "viewport miss %.1f%%\n",
+              label, r.qoe.mean_fps(), r.qoe.total_stall_s(),
+              r.qoe.mean_quality_tier(), r.qoe.fairness_index(),
+              100.0 * r.qoe.users.front().viewport_miss_ratio);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Telepresence lecture: replaying captured 6DoF traces "
+              "===\n\n");
+
+  // 1. "Capture": a 6-headset-student session.
+  trace::UserStudyConfig study_config;
+  study_config.smartphone_users = 0;
+  study_config.headset_users = 6;
+  study_config.samples_per_user = 240;
+  const trace::UserStudy study(study_config);
+
+  // 2. Serialize and re-load through the on-disk VCTRACE format — the
+  // same path real captures take into the system.
+  std::vector<trace::Trace> replayed;
+  for (const trace::Trace& t : study.traces()) {
+    std::stringstream buffer;
+    trace::write_trace(buffer, t);
+    replayed.push_back(trace::read_trace(buffer));
+  }
+  std::printf("captured %zu traces (%.1f s each at %.0f Hz), round-tripped "
+              "through VCTRACE\n\n",
+              replayed.size(), replayed.front().duration_s(),
+              replayed.front().sample_rate_hz);
+
+  // 3. Replay the same audience under different system configurations.
+  report("full cross-layer system:",
+         Session(replay_config(replayed)).run());
+
+  SessionConfig no_multicast = replay_config(replayed);
+  no_multicast.enable_multicast = false;
+  report("without multicast:", Session(no_multicast).run());
+
+  SessionConfig reactive = replay_config(replayed);
+  reactive.predictive_beam_tracking = false;
+  report("reactive beam training:", Session(reactive).run());
+
+  SessionConfig no_occlusion = replay_config(replayed);
+  no_occlusion.enable_user_occlusion = false;
+  report("ignoring user occlusion:", Session(no_occlusion).run());
+
+  std::printf("\nreplay is deterministic: every row above reproduces "
+              "bit-identically from the same trace files.\n");
+  return 0;
+}

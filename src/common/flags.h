@@ -1,0 +1,119 @@
+// Minimal command-line flag parser for the tools and examples.
+// Supports --name=value, --name value, and boolean --name switches, plus
+// generated --help text. Deliberately tiny — no external dependencies.
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace volcast {
+
+/// Declarative flag set with parsing and help rendering.
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program, std::string description = "")
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Registers a string-valued flag with a default.
+  void add_string(const std::string& name, std::string default_value,
+                  std::string help) {
+    entries_[name] = {std::move(default_value), std::move(help), false};
+  }
+  /// Registers a numeric flag (stored as string, parsed on access).
+  void add_number(const std::string& name, double default_value,
+                  std::string help) {
+    std::ostringstream out;
+    out << default_value;
+    entries_[name] = {out.str(), std::move(help), false};
+  }
+  /// Registers a boolean switch (false unless present).
+  void add_switch(const std::string& name, std::string help) {
+    entries_[name] = {"false", std::move(help), true};
+  }
+
+  /// Parses argv. On failure returns false and sets `error`. "--help" sets
+  /// the help_requested() state and returns true.
+  bool parse(int argc, const char* const* argv, std::string* error = nullptr) {
+    auto fail = [error](const std::string& message) {
+      if (error != nullptr) *error = message;
+      return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        help_requested_ = true;
+        return true;
+      }
+      if (arg.rfind("--", 0) != 0) return fail("unexpected argument: " + arg);
+      arg = arg.substr(2);
+      std::string value;
+      bool has_value = false;
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_value = true;
+      }
+      const auto it = entries_.find(arg);
+      if (it == entries_.end()) return fail("unknown flag: --" + arg);
+      if (it->second.is_switch) {
+        if (has_value && value != "true" && value != "false")
+          return fail("switch --" + arg + " takes no value");
+        it->second.value = has_value ? value : "true";
+        continue;
+      }
+      if (!has_value) {
+        if (i + 1 >= argc) return fail("flag --" + arg + " needs a value");
+        value = argv[++i];
+      }
+      it->second.value = value;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool help_requested() const noexcept {
+    return help_requested_;
+  }
+
+  [[nodiscard]] std::string str(const std::string& name) const {
+    return entries_.at(name).value;
+  }
+  [[nodiscard]] double num(const std::string& name) const {
+    return std::stod(entries_.at(name).value);
+  }
+  [[nodiscard]] long integer(const std::string& name) const {
+    return std::stol(entries_.at(name).value);
+  }
+  [[nodiscard]] bool on(const std::string& name) const {
+    return entries_.at(name).value == "true";
+  }
+
+  [[nodiscard]] std::string help() const {
+    std::ostringstream out;
+    out << program_;
+    if (!description_.empty()) out << " — " << description_;
+    out << "\n\nflags:\n";
+    for (const auto& [name, entry] : entries_) {
+      out << "  --" << name;
+      if (!entry.is_switch) out << "=<" << entry.value << ">";
+      out << "\n      " << entry.help << "\n";
+    }
+    out << "  --help\n      show this message\n";
+    return out.str();
+  }
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string help;
+    bool is_switch = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  bool help_requested_ = false;
+};
+
+}  // namespace volcast

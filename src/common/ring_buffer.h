@@ -1,0 +1,67 @@
+// Fixed-capacity ring buffer used for sliding-window histories: viewport
+// predictor pose windows, throughput samples for bandwidth estimation, and
+// RSS histories in the link simulator.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace volcast {
+
+/// Bounded FIFO that overwrites the oldest element when full.
+///
+/// Indexing is oldest-first: `buf[0]` is the oldest retained element and
+/// `buf[size() - 1]` the newest, which matches how regression windows are
+/// consumed (x = sample age, y = value).
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity == 0");
+    data_.reserve(capacity);
+  }
+
+  void push(const T& value) {
+    if (data_.size() < capacity_) {
+      data_.push_back(value);
+    } else {
+      data_[head_] = value;
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return data_.size() == capacity_; }
+
+  /// Oldest-first access; index must be < size().
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    if (i >= data_.size()) throw std::out_of_range("RingBuffer index");
+    return data_[(head_ + i) % data_.size()];
+  }
+
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] const T& back() const { return (*this)[size() - 1]; }
+
+  void clear() noexcept {
+    data_.clear();
+    head_ = 0;
+  }
+
+  /// Copies out the contents, oldest-first.
+  [[nodiscard]] std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(data_.size());
+    for (std::size_t i = 0; i < data_.size(); ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> data_;
+  std::size_t head_ = 0;  // index of the oldest element once full
+};
+
+}  // namespace volcast

@@ -1,0 +1,66 @@
+// Minimal fixed-width ASCII table renderer used by the benchmark harness to
+// print paper-style tables (e.g. Table 1) in a stable, diff-able format.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace volcast {
+
+/// Accumulates rows of strings and renders them column-aligned.
+class AsciiTable {
+ public:
+  /// Sets the header row (optional).
+  void header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+  /// Appends a data row.
+  void row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with fixed precision — convenience for row building.
+  [[nodiscard]] static std::string num(double v, int precision = 1) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << v;
+    return out.str();
+  }
+
+  /// Renders the table with two-space column gutters and a rule under the
+  /// header.
+  [[nodiscard]] std::string render() const {
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string>& cells) {
+      if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        widths[i] = std::max(widths[i], cells[i].size());
+    };
+    if (!header_.empty()) widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::ostringstream out;
+    auto emit = [&out, &widths](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        out << std::left << std::setw(static_cast<int>(widths[i])) << cells[i];
+        if (i + 1 < cells.size()) out << "  ";
+      }
+      out << '\n';
+    };
+    if (!header_.empty()) {
+      emit(header_);
+      std::size_t total = 0;
+      for (std::size_t w : widths) total += w + 2;
+      out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto& r : rows_) emit(r);
+    return out.str();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace volcast

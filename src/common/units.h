@@ -1,0 +1,72 @@
+// Unit helpers shared across the PHY / MAC / application layers.
+//
+// Conventions used throughout volcast:
+//   * power       : dBm (log) or milliwatts (linear)
+//   * gain / loss : dB
+//   * data rates  : megabits per second (Mbps)
+//   * data sizes  : bits (double, to avoid overflow-prone integer math in
+//                   rate computations) or bytes where a payload is meant
+//   * time        : seconds (double)
+#pragma once
+
+#include <cmath>
+
+namespace volcast {
+
+/// Converts a linear milliwatt power to dBm.
+[[nodiscard]] inline double mw_to_dbm(double mw) noexcept {
+  return 10.0 * std::log10(mw);
+}
+
+/// Converts a dBm power to linear milliwatts.
+[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+/// Converts a linear power ratio to dB.
+[[nodiscard]] inline double ratio_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(ratio);
+}
+
+/// Converts dB to a linear power ratio.
+[[nodiscard]] inline double db_to_ratio(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Megabits -> bits.
+[[nodiscard]] constexpr double megabits(double mb) noexcept {
+  return mb * 1e6;
+}
+
+/// Bytes -> bits.
+[[nodiscard]] constexpr double byte_bits(double bytes) noexcept {
+  return bytes * 8.0;
+}
+
+/// Bits -> megabits.
+[[nodiscard]] constexpr double bits_to_megabits(double bits) noexcept {
+  return bits / 1e6;
+}
+
+/// Transmission time in seconds for `bits` at `rate_mbps`.
+[[nodiscard]] inline double tx_time_s(double bits, double rate_mbps) noexcept {
+  return bits / megabits(rate_mbps);
+}
+
+/// Milliseconds -> seconds.
+[[nodiscard]] constexpr double ms(double milliseconds) noexcept {
+  return milliseconds * 1e-3;
+}
+
+/// Speed of light in metres per second.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Wavelength (m) of a carrier at `freq_hz`.
+[[nodiscard]] constexpr double wavelength_m(double freq_hz) noexcept {
+  return kSpeedOfLight / freq_hz;
+}
+
+/// 60 GHz ISM carrier used by 802.11ad channel 2.
+inline constexpr double kMmWaveCarrierHz = 60.48e9;
+
+}  // namespace volcast

@@ -1,0 +1,116 @@
+#include "core/beam_designer.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/units.h"
+#include "mmwave/link.h"
+
+namespace volcast::core {
+
+BeamDesigner::BeamDesigner(const Testbed& testbed, BeamDesignerConfig config)
+    : testbed_(&testbed), config_(config) {}
+
+double BeamDesigner::rss(const mmwave::Awv& w, const geo::Vec3& position,
+                         std::span<const geo::BodyObstacle> bodies) const {
+  return mmwave::rss_dbm(testbed_->ap(), w, testbed_->channel(), position,
+                         bodies, testbed_->budget(), testbed_->blockage());
+}
+
+GroupBeam BeamDesigner::finish(
+    mmwave::Awv awv, bool custom, std::span<const geo::Vec3> positions,
+    std::span<const geo::BodyObstacle> bodies) const {
+  GroupBeam out;
+  out.awv = std::move(awv);
+  out.custom = custom;
+  out.min_member_rss_dbm = std::numeric_limits<double>::infinity();
+  for (const geo::Vec3& p : positions)
+    out.min_member_rss_dbm =
+        std::min(out.min_member_rss_dbm, rss(out.awv, p, bodies));
+  if (positions.empty()) out.min_member_rss_dbm = -200.0;
+  out.multicast_rate_mbps =
+      testbed_->mcs().goodput_mbps(out.min_member_rss_dbm);
+  return out;
+}
+
+GroupBeam BeamDesigner::design_unicast(
+    const geo::Vec3& position,
+    std::span<const geo::BodyObstacle> bodies) const {
+  const geo::Vec3 positions[] = {position};
+  if (config_.enable_custom_beams) {
+    // Predicted-position steering: full aperture, no beam search.
+    return finish(testbed_->ap().steer_at(position), true, positions, bodies);
+  }
+  const std::size_t sector =
+      testbed_->codebook().best_beam_toward(testbed_->ap(), position);
+  return finish(testbed_->codebook().beam(sector), false, positions, bodies);
+}
+
+GroupBeam BeamDesigner::design_multicast(
+    std::span<const geo::Vec3> positions,
+    std::span<const geo::BodyObstacle> bodies,
+    std::span<const geo::Vec3> others) const {
+  if (positions.empty())
+    throw std::invalid_argument("design_multicast: empty group");
+
+  // Stock fallback: the best common sector of the default codebook.
+  const std::size_t common =
+      testbed_->codebook().best_common_beam(testbed_->ap(), positions);
+  GroupBeam stock = finish(testbed_->codebook().beam(common), false,
+                           positions, bodies);
+  if (positions.size() == 1 || !config_.enable_custom_beams) return stock;
+
+  // Fast path from the paper: if every member already has high RSS under
+  // the stock common beam, keep it.
+  if (stock.min_member_rss_dbm >= config_.default_beam_good_dbm) return stock;
+
+  // Synthesize the multi-lobe beam from per-member steered beams weighted
+  // by measured per-member RSS (linear).
+  std::vector<mmwave::Awv> beams;
+  std::vector<double> rss_mw;
+  beams.reserve(positions.size());
+  rss_mw.reserve(positions.size());
+  for (const geo::Vec3& p : positions) {
+    mmwave::Awv individual = testbed_->ap().steer_at(p);
+    const double member_rss = rss(individual, p, bodies);
+    beams.push_back(std::move(individual));
+    rss_mw.push_back(std::max(dbm_to_mw(member_rss), 1e-15));
+  }
+  GroupBeam custom =
+      finish(mmwave::combine_awvs(beams, rss_mw), true, positions, bodies);
+
+  // Probe before use (Section 5): the custom beam must actually improve the
+  // weakest member and must not blast a non-member.
+  if (custom.min_member_rss_dbm <
+      stock.min_member_rss_dbm + config_.min_improvement_db)
+    return stock;
+  for (const geo::Vec3& other : others) {
+    if (rss(custom.awv, other, bodies) > config_.max_spill_dbm) return stock;
+  }
+  return custom;
+}
+
+GroupBeam BeamDesigner::design_reflection(
+    const geo::Vec3& position,
+    std::span<const geo::BodyObstacle> bodies) const {
+  // Try a beam at every bounce point (ignoring bodies along the candidate
+  // paths — the whole point is to route around them) and keep the one with
+  // the best *achievable* RSS: the geometrically shortest bounce can sit
+  // behind the array's element pattern and be useless.
+  const auto paths = testbed_->channel().paths(
+      testbed_->ap().pose().position, position, {}, testbed_->blockage());
+  GroupBeam best{};
+  const geo::Vec3 positions[] = {position};
+  for (const mmwave::Path& path : paths) {
+    if (path.line_of_sight) continue;
+    GroupBeam candidate = finish(testbed_->ap().steer(path.tx_direction),
+                                 true, positions, bodies);
+    if (best.awv.empty() ||
+        candidate.min_member_rss_dbm > best.min_member_rss_dbm)
+      best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace volcast::core

@@ -1,0 +1,87 @@
+// Beam selection for unicast links and multicast groups (paper Section 4.2).
+//
+// For a unicast user: the best stock sector (SLS outcome) — or, when custom
+// beams are allowed, a full-aperture steered beam from the predicted 6DoF
+// position ("we can use the predicted 6DoF motion information at the server
+// to select the individual beams ... without beam searching").
+//
+// For a multicast group: synthesize the paper's RSS-weighted multi-lobe
+// beam from the members' individual beams, probe it (Section 5: reflections
+// can make a new beam interfere), and fall back to the best stock common
+// sector when that already serves everyone well or the probe fails.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/testbed.h"
+#include "mmwave/beam_design.h"
+
+namespace volcast::core {
+
+/// Designer options.
+struct BeamDesignerConfig {
+  /// Allow synthesized (non-codebook) beams at all.
+  bool enable_custom_beams = true;
+  /// "When both users have high RSS [under the stock beam], directly use
+  /// the default common beam": threshold for that fast path (-64 dBm still
+  /// supports MCS 4, > 1.1 Gbps PHY).
+  double default_beam_good_dbm = -64.0;
+  /// Probe rejection: the custom beam must not leak more than this RSS to
+  /// any non-member (interference screening).
+  double max_spill_dbm = -55.0;
+  /// Probe rejection: the custom beam must beat the stock common beam's
+  /// worst member by at least this margin.
+  double min_improvement_db = 0.5;
+};
+
+/// Outcome of designing one group beam.
+struct GroupBeam {
+  mmwave::Awv awv;            // the beam to transmit with
+  bool custom = false;        // synthesized vs stock sector
+  double min_member_rss_dbm = -200.0;
+  double multicast_rate_mbps = 0.0;  // lowest common MCS PHY rate * MAC eff
+};
+
+/// Stateless designer bound to a testbed.
+class BeamDesigner {
+ public:
+  BeamDesigner(const Testbed& testbed, BeamDesignerConfig config = {});
+
+  /// Unicast beam + achievable goodput for one user at `position`.
+  /// `bodies` are the other people in the room (ground-truth blockage).
+  [[nodiscard]] GroupBeam design_unicast(
+      const geo::Vec3& position,
+      std::span<const geo::BodyObstacle> bodies = {}) const;
+
+  /// Multicast beam for `positions` (>= 1). `others` are non-member user
+  /// positions used for spill probing.
+  [[nodiscard]] GroupBeam design_multicast(
+      std::span<const geo::Vec3> positions,
+      std::span<const geo::BodyObstacle> bodies = {},
+      std::span<const geo::Vec3> others = {}) const;
+
+  /// A reflection beam for blockage mitigation: steers at the strongest
+  /// non-line-of-sight bounce toward `position` (empty AWV when the room
+  /// offers no reflection).
+  [[nodiscard]] GroupBeam design_reflection(
+      const geo::Vec3& position,
+      std::span<const geo::BodyObstacle> bodies = {}) const;
+
+  [[nodiscard]] const BeamDesignerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  const Testbed* testbed_;
+  BeamDesignerConfig config_;
+
+  [[nodiscard]] double rss(const mmwave::Awv& w, const geo::Vec3& position,
+                           std::span<const geo::BodyObstacle> bodies) const;
+  [[nodiscard]] GroupBeam finish(mmwave::Awv awv, bool custom,
+                                 std::span<const geo::Vec3> positions,
+                                 std::span<const geo::BodyObstacle> bodies)
+      const;
+};
+
+}  // namespace volcast::core

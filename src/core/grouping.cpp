@@ -1,0 +1,214 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "viewport/similarity.h"
+
+namespace volcast::core {
+
+const char* to_string(GroupingPolicy policy) noexcept {
+  switch (policy) {
+    case GroupingPolicy::kUnicastOnly:
+      return "unicast-only";
+    case GroupingPolicy::kGreedyIoU:
+      return "greedy-iou";
+    case GroupingPolicy::kPairsOnly:
+      return "pairs-only";
+    case GroupingPolicy::kExhaustive:
+      return "exhaustive";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Builds the MAC plan for one candidate member set.
+mac::GroupPlan build_plan(std::span<const UserState> users,
+                          std::span<const std::size_t> members,
+                          const GroupRateFn& group_rate,
+                          const OverlapBitsFn& overlap_bits) {
+  mac::GroupPlan plan;
+  plan.members.reserve(members.size());
+  if (members.size() > 1) {
+    plan.group_overlap_bits = overlap_bits(members);
+    plan.multicast_rate_mbps = group_rate(members);
+  }
+  for (std::size_t m : members) {
+    const UserState& u = users[m];
+    plan.members.push_back({u.user, u.total_bits, plan.group_overlap_bits,
+                            u.unicast_rate_mbps});
+  }
+  return plan;
+}
+
+double group_min_pairwise_iou(std::span<const UserState> users,
+                              std::span<const std::size_t> members) {
+  double lowest = 1.0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      const auto* a = users[members[i]].visibility;
+      const auto* b = users[members[j]].visibility;
+      if (a == nullptr || b == nullptr) return 0.0;
+      lowest = std::min(lowest, view::iou(*a, *b));
+    }
+  }
+  return lowest;
+}
+
+GroupingResult finalize(std::span<const UserState> users,
+                        std::vector<std::vector<std::size_t>> member_sets,
+                        const GroupRateFn& group_rate,
+                        const OverlapBitsFn& overlap_bits) {
+  GroupingResult result;
+  for (auto& set : member_sets) {
+    std::sort(set.begin(), set.end());
+    result.schedule.groups.push_back(
+        build_plan(users, set, group_rate, overlap_bits));
+    std::vector<std::size_t> ids;
+    ids.reserve(set.size());
+    for (std::size_t m : set) ids.push_back(users[m].user);
+    result.groups.push_back(std::move(ids));
+  }
+  return result;
+}
+
+GroupingResult greedy(std::span<const UserState> users,
+                      const GrouperConfig& config,
+                      const GroupRateFn& group_rate,
+                      const OverlapBitsFn& overlap_bits,
+                      std::size_t size_cap) {
+  // Start from singletons; repeatedly apply the merge with the largest
+  // positive airtime saving among pairs that clear the IoU bar.
+  std::vector<std::vector<std::size_t>> clusters;
+  for (std::size_t i = 0; i < users.size(); ++i) clusters.push_back({i});
+
+  const double frame_budget_s =
+      config.target_fps > 0.0 ? 1.0 / config.target_fps
+                              : std::numeric_limits<double>::infinity();
+
+  auto plan_time = [&](const std::vector<std::size_t>& members) {
+    return build_plan(users, members, group_rate, overlap_bits)
+        .transmit_time_s();
+  };
+
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    double best_saving = 0.0;
+    std::size_t best_a = 0;
+    std::size_t best_b = 0;
+    std::vector<std::size_t> best_union;
+    for (std::size_t a = 0; a < clusters.size(); ++a) {
+      for (std::size_t b = a + 1; b < clusters.size(); ++b) {
+        std::vector<std::size_t> candidate = clusters[a];
+        candidate.insert(candidate.end(), clusters[b].begin(),
+                         clusters[b].end());
+        if (size_cap != 0 && candidate.size() > size_cap) continue;
+        if (group_min_pairwise_iou(users, candidate) < config.min_iou)
+          continue;
+        const double t_merged = plan_time(candidate);
+        if (t_merged > frame_budget_s) continue;  // paper's T_m(k) <= 1/F
+        const double saving =
+            plan_time(clusters[a]) + plan_time(clusters[b]) - t_merged;
+        if (saving > best_saving) {
+          best_saving = saving;
+          best_a = a;
+          best_b = b;
+          best_union = std::move(candidate);
+        }
+      }
+    }
+    if (best_saving > 0.0) {
+      clusters[best_a] = std::move(best_union);
+      clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(best_b));
+      merged = true;
+    }
+  }
+  return finalize(users, std::move(clusters), group_rate, overlap_bits);
+}
+
+GroupingResult exhaustive(std::span<const UserState> users,
+                          const GrouperConfig& config,
+                          const GroupRateFn& group_rate,
+                          const OverlapBitsFn& overlap_bits) {
+  if (users.size() > 10)
+    throw std::invalid_argument(
+        "exhaustive grouping is limited to 10 users (Bell-number search)");
+  std::vector<std::vector<std::size_t>> current;
+  std::vector<std::vector<std::size_t>> best;
+  double best_time = std::numeric_limits<double>::infinity();
+
+  const double frame_budget_s =
+      config.target_fps > 0.0 ? 1.0 / config.target_fps
+                              : std::numeric_limits<double>::infinity();
+  auto total_time = [&](const std::vector<std::vector<std::size_t>>& part) {
+    double t = 0.0;
+    for (const auto& block : part) {
+      const double block_time =
+          build_plan(users, block, group_rate, overlap_bits)
+              .transmit_time_s();
+      // Same per-group feasibility rule the greedy policy enforces: a
+      // group that cannot finish within the frame interval is penalized
+      // out of contention (but a partition of infeasible singletons can
+      // still win when nothing is feasible).
+      t += block_time > frame_budget_s && block.size() > 1 ? 1e6 + block_time
+                                                           : block_time;
+    }
+    return t;
+  };
+
+  std::function<void(std::size_t)> recurse = [&](std::size_t next) {
+    if (next == users.size()) {
+      const double t = total_time(current);
+      if (t < best_time) {
+        best_time = t;
+        best = current;
+      }
+      return;
+    }
+    // Index-based: recursion grows `current`, which would invalidate any
+    // reference held across the recursive call.
+    const std::size_t block_count = current.size();
+    for (std::size_t b = 0; b < block_count; ++b) {
+      if (config.max_group_size != 0 &&
+          current[b].size() >= config.max_group_size)
+        continue;
+      current[b].push_back(next);
+      recurse(next + 1);
+      current[b].pop_back();
+    }
+    current.push_back({next});
+    recurse(next + 1);
+    current.pop_back();
+  };
+  recurse(0);
+  return finalize(users, std::move(best), group_rate, overlap_bits);
+}
+
+}  // namespace
+
+GroupingResult form_groups(std::span<const UserState> users,
+                           const GrouperConfig& config,
+                           const GroupRateFn& group_rate,
+                           const OverlapBitsFn& overlap_bits) {
+  if (users.empty()) return {};
+  switch (config.policy) {
+    case GroupingPolicy::kUnicastOnly: {
+      std::vector<std::vector<std::size_t>> singletons;
+      for (std::size_t i = 0; i < users.size(); ++i) singletons.push_back({i});
+      return finalize(users, std::move(singletons), group_rate, overlap_bits);
+    }
+    case GroupingPolicy::kGreedyIoU:
+      return greedy(users, config, group_rate, overlap_bits,
+                    config.max_group_size);
+    case GroupingPolicy::kPairsOnly:
+      return greedy(users, config, group_rate, overlap_bits, 2);
+    case GroupingPolicy::kExhaustive:
+      return exhaustive(users, config, group_rate, overlap_bits);
+  }
+  return {};
+}
+
+}  // namespace volcast::core

@@ -1,0 +1,73 @@
+// Multicast grouping with viewport similarity (paper Section 4.2).
+//
+// Given every user's (predicted) visibility map, demand and link rates, the
+// grouper partitions users into multicast groups so that the frame-interval
+// constraint T_m(k) <= 1/F holds and total airtime is minimized. The paper
+// proposes grouping users "with high viewport similarity"; this module
+// provides that greedy IoU policy plus an exhaustive optimum (tractable for
+// the <= 8-user sessions of the paper) and baselines for ablation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mac/schedule.h"
+#include "viewport/visibility.h"
+
+namespace volcast::core {
+
+/// Grouping policies.
+enum class GroupingPolicy {
+  kUnicastOnly,   // baseline: no multicast at all
+  kGreedyIoU,     // the paper's proposal: merge by viewport similarity
+  kPairsOnly,     // greedy, but groups are capped at two members
+  kExhaustive,    // optimal partition by airtime (Bell-number search)
+};
+
+[[nodiscard]] const char* to_string(GroupingPolicy policy) noexcept;
+
+/// Everything the grouper knows about one user this frame interval.
+struct UserState {
+  std::size_t user = 0;
+  const view::VisibilityMap* visibility = nullptr;  // predicted map
+  double total_bits = 0.0;                          // S_i at the chosen tier
+  double unicast_rate_mbps = 0.0;                   // r_i
+};
+
+/// Callback computing a group's multicast behaviour: given member indices
+/// (into the UserState span), returns the multicast rate r_m in Mbps (the
+/// lowest common MCS under the group's beam) — 0 when the group cannot be
+/// served. Provided by the beam designer.
+using GroupRateFn =
+    std::function<double(std::span<const std::size_t> members)>;
+
+/// Callback computing the overlapped bits S_m(k) for a member set.
+using OverlapBitsFn =
+    std::function<double(std::span<const std::size_t> members)>;
+
+/// Grouper configuration.
+struct GrouperConfig {
+  GroupingPolicy policy = GroupingPolicy::kGreedyIoU;
+  double target_fps = 30.0;
+  /// Minimum pairwise IoU for the greedy policy to consider a merge.
+  double min_iou = 0.3;
+  /// Upper bound on group size (0 = unlimited).
+  std::size_t max_group_size = 0;
+};
+
+/// Result: a partition of the users plus its MAC schedule.
+struct GroupingResult {
+  std::vector<std::vector<std::size_t>> groups;  // user ids per group
+  mac::FrameSchedule schedule;
+};
+
+/// Forms multicast groups over `users`.
+/// `group_rate` and `overlap_bits` are consulted for candidate groups.
+[[nodiscard]] GroupingResult form_groups(std::span<const UserState> users,
+                                         const GrouperConfig& config,
+                                         const GroupRateFn& group_rate,
+                                         const OverlapBitsFn& overlap_bits);
+
+}  // namespace volcast::core

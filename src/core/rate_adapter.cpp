@@ -1,0 +1,79 @@
+#include "core/rate_adapter.h"
+
+#include <algorithm>
+
+namespace volcast::core {
+
+const char* to_string(AdaptationPolicy policy) noexcept {
+  switch (policy) {
+    case AdaptationPolicy::kNone:
+      return "none";
+    case AdaptationPolicy::kBufferOnly:
+      return "buffer-only";
+    case AdaptationPolicy::kCrossLayer:
+      return "cross-layer";
+  }
+  return "?";
+}
+
+RateAdapter::RateAdapter(RateAdapterConfig config) : config_(config) {}
+
+AdaptationDecision RateAdapter::decide(const AdaptationInput& input) const {
+  AdaptationDecision out;
+  const std::size_t top = input.tier_count > 0 ? input.tier_count - 1 : 0;
+  out.tier = std::min(input.current_tier, top);
+
+  switch (config_.policy) {
+    case AdaptationPolicy::kNone:
+      return out;
+
+    case AdaptationPolicy::kBufferOnly: {
+      // Classic buffer thresholds: panic -> lowest, comfortable -> step up.
+      if (input.buffer_s < config_.low_buffer_s) {
+        out.tier = 0;
+      } else if (input.buffer_s > config_.high_buffer_s && out.tier < top) {
+        out.tier = out.tier + 1;
+      }
+      out.prefetch = input.buffer_s < config_.low_buffer_s;
+      return out;
+    }
+
+    case AdaptationPolicy::kCrossLayer: {
+      // Pick the highest tier the predicted bandwidth affords (with
+      // headroom); the buffer acts as a brake on upgrades and a floor
+      // against panic downgrades.
+      std::size_t affordable = 0;
+      for (std::size_t q = 0; q < input.tier_count; ++q) {
+        if (input.predicted_mbps >=
+            input.demand_mbps[q] * config_.headroom)
+          affordable = q;
+      }
+      if (affordable > input.current_tier) {
+        // Upgrade one step at a time, and only with a healthy buffer.
+        out.tier = input.buffer_s >= config_.high_buffer_s
+                       ? input.current_tier + 1
+                       : input.current_tier;
+      } else {
+        out.tier = affordable;
+      }
+      out.tier = std::min(out.tier, top);
+
+      if (input.blockage_forecast) {
+        // Proactive reactions (Section 4.1 / 4.3): pull content forward
+        // before the rate collapses, consider a reflection beam, and let
+        // the scheduler regroup around the degraded link.
+        out.prefetch = true;
+        out.switch_beam = true;
+        out.regroup = true;
+      }
+      if (input.buffer_s < config_.low_buffer_s) {
+        out.prefetch = true;
+        out.tier = 0;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace volcast::core

@@ -1,0 +1,67 @@
+// Multi-user video rate adaptation (paper Section 4.3).
+//
+// Runs at the server (edge), one decision per user per frame interval,
+// combining the player buffer level with the predicted bandwidth. The
+// "possible reactions" the paper lists map to the returned action flags:
+// prefetching for at-risk users, regrouping the multicast schedule, and
+// switching to a reflection beam.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace volcast::core {
+
+/// Input state for one user's decision.
+struct AdaptationInput {
+  double buffer_s = 0.0;           // player buffer depth
+  double predicted_mbps = 0.0;     // from BandwidthPredictor
+  double demand_mbps[3] = {0, 0, 0};  // stream rate needed per quality tier
+  std::size_t tier_count = 3;
+  std::size_t current_tier = 0;
+  bool blockage_forecast = false;
+};
+
+/// Output decision for one user.
+struct AdaptationDecision {
+  std::size_t tier = 0;
+  bool prefetch = false;      // fetch ahead now (blockage imminent / buffer low)
+  bool regroup = false;       // multicast regrouping recommended
+  bool switch_beam = false;   // try a reflection beam
+};
+
+/// Adaptation policies for the ablation bench.
+enum class AdaptationPolicy {
+  kNone,        // pin the starting tier, never react
+  kBufferOnly,  // BBA-style thresholds on buffer depth alone
+  kCrossLayer,  // buffer + predicted bandwidth + blockage forecasts
+};
+
+[[nodiscard]] const char* to_string(AdaptationPolicy policy) noexcept;
+
+/// Tuning knobs.
+struct RateAdapterConfig {
+  AdaptationPolicy policy = AdaptationPolicy::kCrossLayer;
+  double low_buffer_s = 0.10;    // panic threshold
+  double high_buffer_s = 0.50;   // comfortable threshold
+  /// Upgrade only when predicted bandwidth exceeds the next tier's demand
+  /// by this safety factor.
+  double headroom = 1.15;
+};
+
+/// Stateless per-decision adapter.
+class RateAdapter {
+ public:
+  explicit RateAdapter(RateAdapterConfig config = {});
+
+  [[nodiscard]] AdaptationDecision decide(const AdaptationInput& input) const;
+
+  [[nodiscard]] const RateAdapterConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  RateAdapterConfig config_;
+};
+
+}  // namespace volcast::core

@@ -1,0 +1,711 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "core/beam_designer.h"
+#include "core/blockage_mitigator.h"
+#include "core/multi_ap.h"
+#include "mmwave/link.h"
+#include "mmwave/sls.h"
+#include "pointcloud/video_store.h"
+#include "sim/event_queue.h"
+#include "sim/player.h"
+#include "viewport/joint_predictor.h"
+#include "viewport/similarity.h"
+
+namespace volcast::core {
+
+namespace {
+
+/// Bits a user needs for `frame` at `tier` given its visibility map.
+double visible_bits(const view::VisibilityMap& map, const vv::VideoStore& store,
+                    std::size_t frame, std::size_t tier) {
+  double bits = 0.0;
+  for (vv::CellId c = 0; c < map.cell_count(); ++c) {
+    const double lod = map.lod(c);
+    if (lod > 0.0)
+      bits += byte_bits(static_cast<double>(store.cell_bytes(frame, tier, c))) *
+              lod;
+  }
+  return bits;
+}
+
+}  // namespace
+
+struct Session::Impl {
+  SessionConfig config;
+  MultiApCoordinator coordinator;
+  vv::VideoGenerator generator;
+  vv::CellGrid grid;
+  vv::VideoStore store;
+  view::JointViewportPredictor joint;
+  std::vector<BeamDesigner> designers;   // one per AP
+  BlockageMitigator mitigator;
+
+  // Per-video-frame occupancy at the top tier (drives visibility).
+  std::vector<std::vector<std::uint32_t>> occupancy;
+
+  // Per-user state.
+  struct User {
+    trace::MobilityModel mobility;
+    mmwave::ShadowingProcess shadowing;
+    sim::Player player;
+    BandwidthPredictor predictor;
+    std::size_t tier;
+    std::size_t prefetch_credit = 0;
+    std::size_t frames_ahead = 0;
+    int reflection_ticks = 0;
+    mmwave::Awv reflection_awv;
+    double delivered_bits = 0.0;
+    bool blockage_forecast = false;
+    // Reactive (SLS) beam tracking state.
+    mmwave::Awv serving_awv;
+    int sls_remaining_ticks = 0;
+    // Viewport prediction quality accounting.
+    double miss_sum = 0.0;
+    std::size_t miss_count = 0;
+    // The decoder is a serial resource: completion time of the last frame.
+    double decode_free_at = 0.0;
+    // Motion-to-photon accounting (pose -> playable).
+    RunningStats m2p;
+  };
+  std::vector<User> users;
+
+  // Counters for SessionResult.
+  double multicast_bits = 0.0;
+  double unicast_bits = 0.0;
+  double group_size_sum = 0.0;
+  std::size_t group_count = 0;
+  std::size_t custom_beam_uses = 0;
+  std::size_t stock_beam_uses = 0;
+  std::size_t blockage_forecasts = 0;
+  std::size_t reflection_switches = 0;
+  std::size_t dropped_ticks = 0;
+  std::size_t outage_user_ticks = 0;
+  std::size_t sls_sweeps = 0;
+  std::size_t sls_outage_ticks = 0;
+  double scheduled_airtime = 0.0;
+
+  static MultiApConfig multi_ap_config(const SessionConfig& c) {
+    MultiApConfig mc;
+    mc.ap_count = std::max<std::size_t>(c.ap_count, 1);
+    return mc;
+  }
+
+  static vv::VideoConfig video_config(const SessionConfig& c) {
+    vv::VideoConfig vc;
+    vc.points_per_frame = c.master_points;
+    vc.frame_count = c.video_frames;
+    vc.fps = c.fps;
+    vc.seed = c.seed ^ 0xc0ffee;
+    return vc;
+  }
+
+  static vv::VideoStoreConfig store_config(const SessionConfig& c) {
+    vv::VideoStoreConfig sc;
+    // Scale the paper's 330K/430K/550K tier ladder to the configured
+    // master point budget.
+    const double scale = static_cast<double>(c.master_points) / 550'000.0;
+    sc.tiers = {{"low", static_cast<std::size_t>(330'000 * scale)},
+                {"med", static_cast<std::size_t>(430'000 * scale)},
+                {"high", c.master_points}};
+    sc.sample_frames = 1;
+    return sc;
+  }
+
+  static view::JointPredictorConfig joint_config(const SessionConfig& c,
+                                                 const Testbed& tb) {
+    view::JointPredictorConfig jc;
+    jc.user_occlusion = c.enable_user_occlusion;
+    jc.visibility.intrinsics = view::device_intrinsics(c.device);
+    // The joint predictor works in content-local coordinates; express the
+    // (primary) AP there.
+    jc.ap_position =
+        tb.config().ap_position - tb.config().content_floor;
+    return jc;
+  }
+
+  explicit Impl(SessionConfig c)
+      : config(c),
+        coordinator(c.testbed, multi_ap_config(c)),
+        generator(video_config(c)),
+        grid(generator.content_bounds(), c.cell_size_m),
+        store(generator, grid, store_config(c)),
+        joint(c.user_count, joint_config(c, coordinator.ap(0))),
+        mitigator(coordinator.ap(0),
+                  designers_placeholder(),  // replaced below
+                  MitigatorConfig{}) {
+    if (!c.replay_traces.empty()) {
+      if (c.replay_traces.size() < c.user_count)
+        throw std::invalid_argument(
+            "Session: fewer replay traces than users");
+      for (const auto& trace : c.replay_traces)
+        if (trace.poses.empty())
+          throw std::invalid_argument("Session: empty replay trace");
+    }
+    BeamDesignerConfig bd;
+    bd.enable_custom_beams = c.enable_custom_beams;
+    for (std::size_t a = 0; a < coordinator.ap_count(); ++a)
+      designers.emplace_back(coordinator.ap(a), bd);
+    mitigator = BlockageMitigator(coordinator.ap(0), designers.front(),
+                                  MitigatorConfig{});
+
+    occupancy.reserve(c.video_frames);
+    const std::size_t top = store.tier_count() - 1;
+    for (std::size_t f = 0; f < c.video_frames; ++f) {
+      std::vector<std::uint32_t> occ(grid.cell_count());
+      for (vv::CellId cell = 0; cell < grid.cell_count(); ++cell)
+        occ[cell] = store.cell_points(f, top, cell);
+      occupancy.push_back(std::move(occ));
+    }
+
+    Rng seeder(c.seed);
+    const geo::Vec3 center = generator.content_center();
+    for (std::size_t u = 0; u < c.user_count; ++u) {
+      const double frac =
+          c.user_count > 1
+              ? static_cast<double>(u) / static_cast<double>(c.user_count - 1)
+              : 0.5;
+      // Audience arc centered on the far side of the content from the
+      // first AP, matching the user study.
+      const double home = 1.5707963267948966 +
+                          (frac - 0.5) * c.audience_spread_rad +
+                          seeder.uniform(-0.1, 0.1);
+      Rng param_rng = seeder.fork();
+      const auto params = trace::MobilityParams::for_device(
+          c.device, param_rng, center, home);
+      User user{trace::MobilityModel(params, seeder.next_u64()),
+                mmwave::ShadowingProcess(c.testbed.shadowing_sigma_db,
+                                         c.testbed.shadowing_coherence_s,
+                                         seeder.next_u64()),
+                sim::Player(c.fps), BandwidthPredictor(c.estimator),
+                std::min(c.start_tier, store.tier_count() - 1),
+                0, 0, 0, {}, 0.0, false};
+      users.push_back(std::move(user));
+    }
+  }
+
+  // The mitigator needs a designer reference at construction; a static
+  // placeholder satisfies the constructor before the real one is assigned.
+  static const BeamDesigner& designers_placeholder() {
+    static const TestbedConfig config{};
+    static const Testbed testbed(config);
+    static const BeamDesigner designer(testbed);
+    return designer;
+  }
+
+  SessionResult run();
+};
+
+SessionResult Session::Impl::run() {
+  const double dt = 1.0 / config.fps;
+  const auto ticks = static_cast<std::size_t>(
+      std::llround(config.duration_s * config.fps));
+  const std::size_t n = config.user_count;
+  const double horizon = config.prediction_horizon_s;
+  const std::size_t horizon_ticks = static_cast<std::size_t>(
+      std::llround(horizon * config.fps));
+
+  sim::EventQueue queue;
+  std::vector<double> backlog(coordinator.ap_count(), 0.0);
+  std::vector<std::size_t> assignment(n, 0);
+  // Beams each AP transmitted with last tick: the interference the other
+  // APs' users see this tick (beams persist across a frame interval).
+  std::vector<mmwave::Awv> concurrent_beams(coordinator.ap_count());
+
+  const auto& mcs = coordinator.ap(0).mcs();
+
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    const double t = static_cast<double>(tick) * dt;
+    queue.run_until(t);
+    const std::size_t frame = tick % config.video_frames;
+
+    // ---- 1. observe poses, bodies, shadowing --------------------------
+    std::vector<geo::Pose> local_poses(n);
+    std::vector<geo::Vec3> room_pos(n);
+    std::vector<geo::BodyObstacle> bodies(n);
+    std::vector<double> shadow(n);
+    const bool replaying = !config.replay_traces.empty();
+    for (std::size_t u = 0; u < n; ++u) {
+      if (replaying) {
+        const auto& poses = config.replay_traces[u].poses;
+        local_poses[u] = poses[tick % poses.size()];
+        (void)users[u].mobility.step(dt);  // keep RNG streams aligned
+      } else {
+        local_poses[u] = users[u].mobility.step(dt);
+      }
+      room_pos[u] = coordinator.ap(0).to_room(local_poses[u].position);
+      bodies[u] = {room_pos[u], 0.25, 1.8};
+      shadow[u] = users[u].shadowing.step(dt);
+    }
+    joint.observe(t, local_poses);
+
+    // ---- 2. joint prediction ------------------------------------------
+    const std::size_t target_frame =
+        (tick + horizon_ticks) % config.video_frames;
+    view::JointPrediction prediction =
+        joint.predict(horizon, grid, occupancy[target_frame]);
+    for (std::size_t u = 0; u < n; ++u) users[u].blockage_forecast = false;
+    for (const auto& forecast : prediction.blockages) {
+      if (forecast.user < n) users[forecast.user].blockage_forecast = true;
+    }
+    blockage_forecasts += prediction.blockages.size();
+
+    // ---- 3. AP assignment (refreshed every second) ---------------------
+    if (coordinator.ap_count() > 1 && tick % 30 == 0)
+      assignment = coordinator.assign_users(room_pos);
+
+    // ---- 4. per-user unicast link state --------------------------------
+    std::vector<double> unicast_rate(n, 0.0);
+    std::vector<double> unicast_rss(n, -200.0);
+    const mmwave::SlsProcedure sls;
+    for (std::size_t u = 0; u < n; ++u) {
+      const Testbed& tb = coordinator.ap(assignment[u]);
+      std::vector<geo::BodyObstacle> others;
+      for (std::size_t v = 0; v < n; ++v)
+        if (v != u) others.push_back(bodies[v]);
+
+      mmwave::Awv serving;
+      if (config.predictive_beam_tracking) {
+        // The paper's proposal: steer from the (predicted) 6DoF position,
+        // no beam search, no outage.
+        serving =
+            designers[assignment[u]].design_unicast(room_pos[u], others).awv;
+      } else {
+        // Reactive baseline: ride the last swept sector; re-train via SLS
+        // when it goes stale, paying the 5-20 ms search outage.
+        User& st = users[u];
+        auto start_sweep = [&] {
+          st.sls_remaining_ticks = std::max(
+              1, static_cast<int>(std::ceil(
+                     sls.outage_s(tb.codebook()) * config.fps)));
+          ++sls_sweeps;
+        };
+        if (st.sls_remaining_ticks > 0) {
+          --st.sls_remaining_ticks;
+          ++sls_outage_ticks;
+          if (st.sls_remaining_ticks == 0) {
+            st.serving_awv = tb.codebook().beam(
+                tb.codebook().best_beam_toward(tb.ap(), room_pos[u]));
+          }
+          unicast_rss[u] = -200.0;
+          unicast_rate[u] = 0.0;
+          users[u].predictor.set_phy_state(0.0, users[u].blockage_forecast);
+          continue;
+        }
+        if (st.serving_awv.empty()) {
+          start_sweep();
+          unicast_rss[u] = -200.0;
+          unicast_rate[u] = 0.0;
+          users[u].predictor.set_phy_state(0.0, users[u].blockage_forecast);
+          continue;
+        }
+        const double serving_rss =
+            mmwave::rss_dbm(tb.ap(), st.serving_awv, tb.channel(),
+                            room_pos[u], others, tb.budget(), tb.blockage());
+        const double best_rss = mmwave::best_beam_rss_dbm(
+            tb.ap(), tb.codebook(), tb.channel(), room_pos[u], others,
+            tb.budget(), tb.blockage());
+        // Re-train when the sector went stale — or when the link fell
+        // below the usable floor, which a reactive device cannot tell
+        // apart from misalignment. Sweeping into a body blockage is
+        // exactly the wasted 5-20 ms the paper's proactive design avoids.
+        if (serving_rss < best_rss - config.sls_staleness_db ||
+            serving_rss < -68.0)
+          start_sweep();
+        serving = st.serving_awv;  // stale or not, it carries this tick
+      }
+
+      double rss = mmwave::rss_dbm(tb.ap(), serving, tb.channel(),
+                                   room_pos[u], others, tb.budget(),
+                                   tb.blockage()) +
+                   shadow[u];
+      // Reflection override from an earlier mitigation action: use it when
+      // it currently beats the (possibly blocked) line of sight.
+      if (users[u].reflection_ticks > 0 &&
+          !users[u].reflection_awv.empty()) {
+        const double refl =
+            mmwave::rss_dbm(tb.ap(), users[u].reflection_awv, tb.channel(),
+                            room_pos[u], others, tb.budget(), tb.blockage()) +
+            shadow[u];
+        if (refl > rss) {
+          rss = refl;
+          ++reflection_switches;
+        }
+        --users[u].reflection_ticks;
+      }
+      unicast_rss[u] = rss;
+      unicast_rate[u] = mcs.goodput_mbps(rss);
+      if (coordinator.ap_count() > 1) {
+        unicast_rate[u] *= coordinator.interference_factor(
+            assignment[u], room_pos[u], rss, concurrent_beams);
+      }
+      users[u].predictor.set_phy_state(unicast_rate[u],
+                                       users[u].blockage_forecast);
+    }
+
+    // ---- 5. rate adaptation --------------------------------------------
+    RateAdapterConfig rc;
+    rc.policy = config.adaptation;
+    rc.low_buffer_s = 0.75 / config.fps;   // under one frame buffered
+    rc.high_buffer_s = 1.6 / config.fps;   // healthy: > 1.6 frames
+    const RateAdapter adapter(rc);
+    std::vector<std::size_t> ap_active(coordinator.ap_count(), 0);
+    for (std::size_t u = 0; u < n; ++u)
+      if (unicast_rate[u] > 0.0) ++ap_active[assignment[u]];
+    for (std::size_t u = 0; u < n; ++u) {
+      AdaptationInput in;
+      in.buffer_s = users[u].player.buffer_s();
+      // The air interface is shared: a user can only count on its share of
+      // the frame interval (the central scheduler knows the user count —
+      // exactly the paper's argument for server-side adaptation).
+      const double share =
+          static_cast<double>(std::max<std::size_t>(
+              ap_active[assignment[u]], 1));
+      in.predicted_mbps = users[u].predictor.predict_mbps() / share;
+      in.tier_count = store.tier_count();
+      in.current_tier = users[u].tier;
+      in.blockage_forecast = users[u].blockage_forecast;
+      for (std::size_t q = 0; q < store.tier_count() && q < 3; ++q) {
+        in.demand_mbps[q] = bits_to_megabits(
+            visible_bits(prediction.visibility[u], store, target_frame, q) *
+            config.fps);
+      }
+      const AdaptationDecision decision = adapter.decide(in);
+      users[u].tier = decision.tier;
+      if (decision.prefetch && users[u].prefetch_credit == 0)
+        users[u].prefetch_credit = 2;
+    }
+
+    // ---- 6. proactive blockage mitigation ------------------------------
+    if (config.enable_blockage_mitigation) {
+      const auto actions = mitigator.plan(prediction.blockages,
+                                          prediction.poses, unicast_rss);
+      for (const MitigationAction& action : actions) {
+        User& u = users[action.user];
+        u.prefetch_credit =
+            std::max(u.prefetch_credit, action.extra_prefetch_frames);
+        if (action.use_reflection_beam) {
+          u.reflection_awv = action.reflection_awv;
+          u.reflection_ticks = 15;  // half a second of override
+        }
+      }
+    }
+
+    // ---- 7. grouping + scheduling per AP --------------------------------
+    std::vector<double> app_sample_mbps(n, 0.0);
+    for (std::size_t a = 0; a < coordinator.ap_count(); ++a) {
+      // Users of this AP that still need this tick's frame.
+      std::vector<std::size_t> members;  // user ids
+      for (std::size_t u = 0; u < n; ++u) {
+        if (assignment[u] != a) continue;
+        if (users[u].frames_ahead > 0) {
+          --users[u].frames_ahead;  // already prefetched
+          continue;
+        }
+        if (unicast_rate[u] <= 0.0) {
+          // Deep blockage outage: even the control PHY fails, nothing can
+          // be delivered this tick. The player rides its buffer.
+          ++outage_user_ticks;
+          continue;
+        }
+        members.push_back(u);
+      }
+      if (members.empty()) continue;
+
+      if (backlog[a] > config.max_backlog_s) {
+        // Air queue over budget: skip this round entirely (frame drop);
+        // the buffers and the adapter absorb it.
+        ++dropped_ticks;
+        backlog[a] = std::max(0.0, backlog[a] - dt);
+        continue;
+      }
+
+      std::vector<UserState> states;
+      states.reserve(members.size());
+      for (std::size_t u : members) {
+        UserState s;
+        s.user = u;
+        s.visibility = &prediction.visibility[u];
+        s.total_bits =
+            visible_bits(prediction.visibility[u], store, frame, users[u].tier);
+        s.unicast_rate_mbps = unicast_rate[u];
+        states.push_back(s);
+      }
+
+      auto group_tier = [&](std::span<const std::size_t> idx) {
+        std::size_t tier = 0;
+        for (std::size_t i : idx) tier = std::max(tier, users[members[i]].tier);
+        return tier;
+      };
+      auto overlap_bits_fn = [&](std::span<const std::size_t> idx) {
+        std::vector<view::VisibilityMap> maps;
+        maps.reserve(idx.size());
+        for (std::size_t i : idx)
+          maps.push_back(prediction.visibility[members[i]]);
+        const view::VisibilityMap inter = view::intersection(maps);
+        return visible_bits(inter, store, frame, group_tier(idx));
+      };
+      auto group_rate_fn = [&](std::span<const std::size_t> idx) {
+        if (!config.enable_multicast) return 0.0;
+        std::vector<geo::Vec3> positions;
+        std::vector<geo::Vec3> other_positions;
+        std::vector<geo::BodyObstacle> non_member_bodies;
+        positions.reserve(idx.size());
+        for (std::size_t i : idx) positions.push_back(room_pos[members[i]]);
+        for (std::size_t u = 0; u < n; ++u) {
+          if (std::find_if(idx.begin(), idx.end(), [&](std::size_t i) {
+                return members[i] == u;
+              }) == idx.end()) {
+            other_positions.push_back(room_pos[u]);
+            non_member_bodies.push_back(bodies[u]);
+          }
+        }
+        const GroupBeam beam = designers[a].design_multicast(
+            positions, non_member_bodies, other_positions);
+        // Worst member RSS including that member's shadowing.
+        double min_rss = 1e9;
+        for (std::size_t i : idx) {
+          const std::size_t u = members[i];
+          const Testbed& tb = coordinator.ap(a);
+          std::vector<geo::BodyObstacle> others;
+          for (std::size_t v = 0; v < n; ++v)
+            if (v != u) others.push_back(bodies[v]);
+          const double rss =
+              mmwave::rss_dbm(tb.ap(), beam.awv, tb.channel(), room_pos[u],
+                              others, tb.budget(), tb.blockage()) +
+              shadow[u];
+          min_rss = std::min(min_rss, rss);
+        }
+        return mcs.goodput_mbps(min_rss);
+      };
+
+      GrouperConfig gc;
+      gc.policy = config.enable_multicast ? config.grouping
+                                          : GroupingPolicy::kUnicastOnly;
+      gc.target_fps = config.fps;
+      gc.min_iou = config.grouping_min_iou;
+      const GroupingResult grouping =
+          form_groups(states, gc, group_rate_fn, overlap_bits_fn);
+
+      // Beam bookkeeping for the result counters and for next tick's
+      // cross-AP interference screening (largest group's beam represents
+      // this AP's transmission; unicast fallback below).
+      if (!grouping.groups.empty()) {
+        const auto largest = std::max_element(
+            grouping.groups.begin(), grouping.groups.end(),
+            [](const auto& lhs, const auto& rhs) {
+              return lhs.size() < rhs.size();
+            });
+        if (largest->size() == 1) {
+          concurrent_beams[a] = coordinator.ap(a).ap().steer_at(
+              room_pos[largest->front()]);
+        }
+      } else {
+        concurrent_beams[a].clear();
+      }
+      for (const auto& group : grouping.groups) {
+        if (group.size() < 2) continue;
+        std::vector<geo::Vec3> positions;
+        std::vector<geo::BodyObstacle> non_member_bodies;
+        for (std::size_t u : group) positions.push_back(room_pos[u]);
+        for (std::size_t u = 0; u < n; ++u)
+          if (std::find(group.begin(), group.end(), u) == group.end())
+            non_member_bodies.push_back(bodies[u]);
+        GroupBeam beam =
+            designers[a].design_multicast(positions, non_member_bodies, {});
+        if (beam.custom) {
+          ++custom_beam_uses;
+        } else {
+          ++stock_beam_uses;
+        }
+        concurrent_beams[a] = std::move(beam.awv);
+      }
+
+      const double airtime =
+          grouping.schedule.airtime_s(config.mac_overheads);
+      scheduled_airtime += airtime;
+      backlog[a] = std::max(0.0, backlog[a] - dt) + airtime;
+      const double delivery_time = t + backlog[a];
+
+      for (const mac::GroupPlan& plan : grouping.schedule.groups) {
+        group_size_sum += static_cast<double>(plan.members.size());
+        ++group_count;
+        const bool is_multicast =
+            plan.members.size() > 1 && plan.multicast_rate_mbps > 0.0 &&
+            plan.group_overlap_bits > 0.0;
+        for (const mac::UserDemand& demand : plan.members) {
+          const std::size_t u = demand.user;
+          const double bits = demand.total_bits;
+          // Application-layer throughput sample: bits over the transfer
+          // time this user's frame actually took — multicast sharing shows
+          // up here as a higher effective rate.
+          double transfer_s = 0.0;
+          if (is_multicast) {
+            transfer_s =
+                tx_time_s(plan.group_overlap_bits, plan.multicast_rate_mbps);
+            const double residual =
+                std::max(bits - plan.group_overlap_bits, 0.0);
+            if (demand.unicast_rate_mbps > 0.0)
+              transfer_s += tx_time_s(residual, demand.unicast_rate_mbps);
+          } else if (demand.unicast_rate_mbps > 0.0) {
+            transfer_s = tx_time_s(bits, demand.unicast_rate_mbps);
+          }
+          if (transfer_s > 0.0)
+            app_sample_mbps[u] = bits_to_megabits(bits / transfer_s);
+          if (is_multicast) {
+            multicast_bits += plan.group_overlap_bits;
+            unicast_bits +=
+                std::max(bits - plan.group_overlap_bits, 0.0);
+          } else {
+            unicast_bits += bits;
+          }
+          users[u].delivered_bits += bits;
+          const std::size_t tier = users[u].tier;
+          // The frame is playable only after the client decodes it.
+          double visible_points = 0.0;
+          for (vv::CellId cell = 0; cell < grid.cell_count(); ++cell) {
+            const double lod = prediction.visibility[u].lod(cell);
+            if (lod > 0.0)
+              visible_points += lod * store.cell_points(frame, tier, cell);
+          }
+          const double decode_time =
+              config.decode_points_per_second > 0.0
+                  ? visible_points / config.decode_points_per_second
+                  : 0.0;
+          users[u].decode_free_at =
+              std::max(users[u].decode_free_at, delivery_time) + decode_time;
+          users[u].m2p.add(users[u].decode_free_at - t);
+          queue.schedule_at(users[u].decode_free_at,
+                            [this, u, frame, tier, bits]() {
+            users[u].player.deliver({frame, tier, bits});
+          });
+        }
+      }
+
+      // Prefetch: fetch one frame ahead per tick of credit, while the air
+      // queue is healthy.
+      for (std::size_t u : members) {
+        if (users[u].prefetch_credit == 0 ||
+            backlog[a] > config.max_backlog_s * 0.5)
+          continue;
+        --users[u].prefetch_credit;
+        ++users[u].frames_ahead;
+        const std::size_t next_frame = (frame + 1) % config.video_frames;
+        const double bits = visible_bits(prediction.visibility[u], store,
+                                         next_frame, users[u].tier);
+        if (unicast_rate[u] <= 0.0) continue;
+        const double extra_air = tx_time_s(bits, unicast_rate[u]);
+        scheduled_airtime += extra_air;
+        backlog[a] += extra_air;
+        unicast_bits += bits;
+        users[u].delivered_bits += bits;
+        const double when = t + backlog[a];
+        const std::size_t tier = users[u].tier;
+        queue.schedule_at(when, [this, u, next_frame, tier, bits]() {
+          users[u].player.deliver({next_frame, tier, bits});
+        });
+      }
+
+      // Viewport-prediction quality: what fraction of the cells each member
+      // actually needs (at its true pose) did the prediction-driven fetch
+      // miss?
+      for (std::size_t u : members) {
+        std::vector<geo::BodyObstacle> local_bodies;
+        if (config.enable_user_occlusion) {
+          for (std::size_t v = 0; v < n; ++v) {
+            if (v == u) continue;
+            local_bodies.push_back(
+                {local_poses[v].position, 0.25, 1.8});
+          }
+        }
+        const auto actual = view::compute_visibility(
+            grid, occupancy[frame], local_poses[u],
+            joint.config().visibility, local_bodies);
+        std::size_t needed = 0;
+        std::size_t missed = 0;
+        for (vv::CellId cell = 0; cell < grid.cell_count(); ++cell) {
+          if (!actual.visible(cell)) continue;
+          ++needed;
+          if (!prediction.visibility[u].visible(cell)) ++missed;
+        }
+        if (needed > 0) {
+          users[u].miss_sum += static_cast<double>(missed) /
+                               static_cast<double>(needed);
+          ++users[u].miss_count;
+        }
+      }
+    }
+
+    // ---- 8. app-layer observation + playback ---------------------------
+    for (std::size_t u = 0; u < n; ++u) {
+      if (app_sample_mbps[u] > 0.0)
+        users[u].predictor.observe(app_sample_mbps[u], unicast_rate[u]);
+      users[u].player.advance(dt);
+      if (config.tick_observer) {
+        config.tick_observer({t, u, users[u].player.buffer_s(),
+                              users[u].tier, unicast_rss[u],
+                              unicast_rate[u],
+                              users[u].blockage_forecast});
+      }
+    }
+  }
+  queue.run();
+
+  SessionResult result;
+  result.qoe.duration_s = config.duration_s;
+  for (std::size_t u = 0; u < n; ++u) {
+    sim::UserQoe q;
+    q.user = u;
+    q.displayed_fps = users[u].player.played_frames() / config.duration_s;
+    q.stall_time_s = users[u].player.stall_time_s();
+    q.stall_ratio = q.stall_time_s / config.duration_s;
+    q.mean_quality_tier = users[u].player.mean_played_tier();
+    q.quality_switches = users[u].player.quality_switches();
+    q.mean_goodput_mbps =
+        bits_to_megabits(users[u].delivered_bits / config.duration_s);
+    q.viewport_miss_ratio =
+        users[u].miss_count > 0
+            ? users[u].miss_sum / static_cast<double>(users[u].miss_count)
+            : 0.0;
+    q.mean_m2p_latency_s = users[u].m2p.mean();
+    q.max_m2p_latency_s = users[u].m2p.max();
+    result.qoe.users.push_back(q);
+  }
+  const double total_bits = multicast_bits + unicast_bits;
+  result.multicast_bit_share =
+      total_bits > 0.0 ? multicast_bits / total_bits : 0.0;
+  result.mean_group_size =
+      group_count > 0 ? group_size_sum / static_cast<double>(group_count)
+                      : 0.0;
+  result.custom_beam_uses = custom_beam_uses;
+  result.stock_beam_uses = stock_beam_uses;
+  result.blockage_forecasts = blockage_forecasts;
+  result.reflection_switches = reflection_switches;
+  result.dropped_ticks = dropped_ticks;
+  result.outage_user_ticks = outage_user_ticks;
+  result.sls_sweeps = sls_sweeps;
+  result.sls_outage_ticks = sls_outage_ticks;
+  result.mean_airtime_utilization =
+      config.duration_s > 0.0 ? scheduled_airtime / config.duration_s : 0.0;
+  return result;
+}
+
+Session::Session(SessionConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+const SessionConfig& Session::config() const noexcept {
+  return impl_->config;
+}
+
+SessionResult Session::run() { return impl_->run(); }
+
+}  // namespace volcast::core

@@ -1,0 +1,114 @@
+// Axis-aligned bounding boxes — the shape of a point-cloud cell and the
+// primitive that frustum culling, occlusion rays and blockage checks test
+// against.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "geometry/vec3.h"
+
+namespace volcast::geo {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec3 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& mn, const Vec3& mx) : lo(mn), hi(mx) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z;
+  }
+
+  [[nodiscard]] constexpr Vec3 center() const noexcept {
+    return (lo + hi) * 0.5;
+  }
+  [[nodiscard]] constexpr Vec3 extent() const noexcept { return hi - lo; }
+  [[nodiscard]] constexpr double volume() const noexcept {
+    if (!valid()) return 0.0;
+    const Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+
+  /// Grows the box to contain p.
+  constexpr void expand(const Vec3& p) noexcept {
+    lo = lo.min(p);
+    hi = hi.max(p);
+  }
+  constexpr void expand(const Aabb& b) noexcept {
+    lo = lo.min(b.lo);
+    hi = hi.max(b.hi);
+  }
+
+  /// Uniformly pads the box by `margin` on all sides.
+  [[nodiscard]] constexpr Aabb padded(double margin) const noexcept {
+    const Vec3 m{margin, margin, margin};
+    return {lo - m, hi + m};
+  }
+
+  [[nodiscard]] constexpr bool contains(const Vec3& p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  [[nodiscard]] constexpr bool intersects(const Aabb& b) const noexcept {
+    return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y &&
+           hi.y >= b.lo.y && lo.z <= b.hi.z && hi.z >= b.lo.z;
+  }
+
+  /// The eight corner points.
+  [[nodiscard]] std::array<Vec3, 8> corners() const noexcept {
+    return {Vec3{lo.x, lo.y, lo.z}, Vec3{hi.x, lo.y, lo.z},
+            Vec3{lo.x, hi.y, lo.z}, Vec3{hi.x, hi.y, lo.z},
+            Vec3{lo.x, lo.y, hi.z}, Vec3{hi.x, lo.y, hi.z},
+            Vec3{lo.x, hi.y, hi.z}, Vec3{hi.x, hi.y, hi.z}};
+  }
+
+  /// Closest point inside the box to p.
+  [[nodiscard]] Vec3 clamp(const Vec3& p) const noexcept {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y),
+            std::clamp(p.z, lo.z, hi.z)};
+  }
+
+  /// Squared distance from p to the box (0 when inside).
+  [[nodiscard]] double distance_sq(const Vec3& p) const noexcept {
+    return (p - clamp(p)).norm_sq();
+  }
+};
+
+/// Slab-method ray/AABB intersection over the segment [0, max_t].
+/// Returns true and sets `t_enter` (clamped to >= 0) on hit.
+[[nodiscard]] inline bool ray_intersects_aabb(const Vec3& origin,
+                                              const Vec3& dir, double max_t,
+                                              const Aabb& box,
+                                              double* t_enter = nullptr) noexcept {
+  double t0 = 0.0;
+  double t1 = max_t;
+  const double o[3] = {origin.x, origin.y, origin.z};
+  const double d[3] = {dir.x, dir.y, dir.z};
+  const double lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+  const double hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::abs(d[axis]) < 1e-15) {
+      if (o[axis] < lo[axis] || o[axis] > hi[axis]) return false;
+      continue;
+    }
+    const double inv = 1.0 / d[axis];
+    double ta = (lo[axis] - o[axis]) * inv;
+    double tb = (hi[axis] - o[axis]) * inv;
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return false;
+  }
+  if (t_enter != nullptr) *t_enter = t0;
+  return true;
+}
+
+}  // namespace volcast::geo

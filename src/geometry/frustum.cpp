@@ -1,0 +1,56 @@
+#include "geometry/frustum.h"
+
+#include <cmath>
+
+namespace volcast::geo {
+
+Frustum::Frustum(const Pose& pose, const CameraIntrinsics& intrinsics)
+    : pose_(pose), intrinsics_(intrinsics) {
+  const Vec3 fwd = pose.forward();
+  const Vec3 up = pose.up();
+  const Vec3 left = pose.left();
+  const Vec3 eye = pose.position;
+
+  const double half_h = 0.5 * intrinsics.horizontal_fov_rad;
+  const double half_v =
+      std::atan(std::tan(half_h) * intrinsics.aspect);
+
+  // Near and far planes face each other along the view axis.
+  planes_[0] = Plane::from_point_normal(eye + fwd * intrinsics.near_m, fwd);
+  planes_[1] = Plane::from_point_normal(eye + fwd * intrinsics.far_m, -fwd);
+
+  // Side planes pass through the eye with inward normals
+  //   n = sin(half) * fwd +- cos(half) * lateral.
+  // A point straight ahead (eye + fwd) is at distance sin(half) > 0 from all
+  // four side planes, so all normals face inward.
+  const double ch = std::cos(half_h);
+  const double sh = std::sin(half_h);
+  const double cv = std::cos(half_v);
+  const double sv = std::sin(half_v);
+  planes_[2] = Plane::from_point_normal(eye, fwd * sh - left * ch);  // left
+  planes_[3] = Plane::from_point_normal(eye, fwd * sh + left * ch);  // right
+  planes_[4] = Plane::from_point_normal(eye, fwd * sv - up * cv);    // top
+  planes_[5] = Plane::from_point_normal(eye, fwd * sv + up * cv);    // bottom
+}
+
+bool Frustum::contains(const Vec3& p) const noexcept {
+  for (const Plane& plane : planes_) {
+    if (plane.signed_distance(p) < 0.0) return false;
+  }
+  return true;
+}
+
+bool Frustum::intersects(const Aabb& box) const noexcept {
+  if (!box.valid()) return false;
+  for (const Plane& plane : planes_) {
+    // p-vertex: the box corner farthest along the plane normal. If even that
+    // corner is outside, the whole box is outside this plane.
+    const Vec3 p{plane.normal.x >= 0.0 ? box.hi.x : box.lo.x,
+                 plane.normal.y >= 0.0 ? box.hi.y : box.lo.y,
+                 plane.normal.z >= 0.0 ? box.hi.z : box.lo.z};
+    if (plane.signed_distance(p) < 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace volcast::geo

@@ -1,0 +1,74 @@
+// View frustum construction and frustum culling.
+//
+// The paper determines the cells overlapping a user's 3D viewport with
+// frustum culling (ref [26] in the paper); this is that primitive. A frustum
+// is stored as six inward-facing planes, and AABB tests use the standard
+// p-vertex rejection test (exact for box-vs-plane, conservative for the
+// frustum corners, which is the behaviour streaming systems want: never cull
+// a visible cell).
+#pragma once
+
+#include <array>
+
+#include "geometry/aabb.h"
+#include "geometry/pose.h"
+#include "geometry/vec3.h"
+
+namespace volcast::geo {
+
+/// Plane in Hessian form: normal . p + d = 0; `normal` points to the
+/// inside half-space for frustum planes.
+struct Plane {
+  Vec3 normal{0, 0, 1};
+  double d = 0.0;
+
+  /// Signed distance of p to the plane (> 0 on the inside).
+  [[nodiscard]] double signed_distance(const Vec3& p) const noexcept {
+    return normal.dot(p) + d;
+  }
+
+  [[nodiscard]] static Plane from_point_normal(const Vec3& point,
+                                               const Vec3& normal) noexcept {
+    const Vec3 n = normal.normalized();
+    return {n, -n.dot(point)};
+  }
+};
+
+/// Camera intrinsics for frustum construction.
+struct CameraIntrinsics {
+  double horizontal_fov_rad = 1.3962634015954636;  // 80 degrees
+  double aspect = 9.0 / 16.0;                      // vertical / horizontal
+  double near_m = 0.05;
+  double far_m = 20.0;
+};
+
+/// Six-plane view frustum.
+class Frustum {
+ public:
+  Frustum() = default;
+
+  /// Builds the frustum of a camera at `pose` (forward = pose.forward()).
+  Frustum(const Pose& pose, const CameraIntrinsics& intrinsics);
+
+  /// True if `p` lies inside all six planes.
+  [[nodiscard]] bool contains(const Vec3& p) const noexcept;
+
+  /// Conservative frustum/AABB overlap test (may rarely report overlap for a
+  /// box outside near an edge; never misses a truly overlapping box).
+  [[nodiscard]] bool intersects(const Aabb& box) const noexcept;
+
+  [[nodiscard]] const std::array<Plane, 6>& planes() const noexcept {
+    return planes_;
+  }
+  [[nodiscard]] const Pose& pose() const noexcept { return pose_; }
+  [[nodiscard]] const CameraIntrinsics& intrinsics() const noexcept {
+    return intrinsics_;
+  }
+
+ private:
+  std::array<Plane, 6> planes_{};  // near, far, left, right, top, bottom
+  Pose pose_{};
+  CameraIntrinsics intrinsics_{};
+};
+
+}  // namespace volcast::geo

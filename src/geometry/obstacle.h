@@ -1,0 +1,51 @@
+// Human bodies as geometric obstacles. One model serves two layers:
+// the application layer (a user's body occludes another user's viewport)
+// and the physical layer (a body crossing an AP->client line of sight
+// attenuates the 60 GHz link) — this shared geometry is exactly what the
+// paper's cross-layer blockage prediction exploits.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/vec3.h"
+
+namespace volcast::geo {
+
+/// A person modelled as a vertical capsule (axis along +Z from the floor).
+struct BodyObstacle {
+  Vec3 position{};       // x,y locate the axis; z is ignored
+  double radius_m = 0.25;
+  double height_m = 1.8;
+};
+
+/// XY-plane distance from the body axis to the segment a->b, evaluated at
+/// the closest approach; returns +infinity when the segment passes entirely
+/// above or below the capsule.
+[[nodiscard]] inline double segment_body_clearance(
+    const Vec3& a, const Vec3& b, const BodyObstacle& body) noexcept {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  double t = 0.0;
+  if (len_sq > 1e-12) {
+    t = ((body.position.x - a.x) * abx + (body.position.y - a.y) * aby) /
+        len_sq;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double z = a.z + t * (b.z - a.z);
+  if (z < 0.0 || z > body.height_m)
+    return std::numeric_limits<double>::infinity();
+  const double dx = a.x + t * abx - body.position.x;
+  const double dy = a.y + t * aby - body.position.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// True when the segment a->b passes through the capsule volume.
+[[nodiscard]] inline bool segment_hits_body(const Vec3& a, const Vec3& b,
+                                            const BodyObstacle& body) noexcept {
+  return segment_body_clearance(a, b, body) <= body.radius_m;
+}
+
+}  // namespace volcast::geo

@@ -1,0 +1,51 @@
+// 6DoF pose: the paper's fundamental viewer state — 3DoF translation
+// (X, Y, Z) plus 3DoF rotation (yaw, pitch, roll).
+#pragma once
+
+#include "geometry/quat.h"
+#include "geometry/vec3.h"
+
+namespace volcast::geo {
+
+/// Position + orientation of a viewer (or antenna) in world space.
+///
+/// Camera convention: the viewing direction is the pose's rotated +X axis,
+/// +Z is up and +Y is left. This matches the trace generator, the frustum
+/// builder and the phased-array boresight.
+struct Pose {
+  Vec3 position{};
+  Quat orientation{};
+
+  [[nodiscard]] Vec3 forward() const noexcept {
+    return orientation.rotate({1, 0, 0});
+  }
+  [[nodiscard]] Vec3 up() const noexcept { return orientation.rotate({0, 0, 1}); }
+  [[nodiscard]] Vec3 left() const noexcept {
+    return orientation.rotate({0, 1, 0});
+  }
+
+  /// Pose at `position` looking toward `target` with +Z up.
+  [[nodiscard]] static Pose look_at(const Vec3& position,
+                                    const Vec3& target) noexcept {
+    Pose p;
+    p.position = position;
+    p.orientation = Quat::between({1, 0, 0}, target - position);
+    return p;
+  }
+
+  /// Translation distance plus a comparable rotational term; used as the
+  /// predictor error metric (metres + radians, unweighted).
+  [[nodiscard]] double distance(const Pose& o) const noexcept {
+    return position.distance(o.position) +
+           orientation.angular_distance(o.orientation);
+  }
+};
+
+/// Component-wise interpolation of two poses (lerp position, slerp rotation).
+[[nodiscard]] inline Pose interpolate(const Pose& a, const Pose& b,
+                                      double t) noexcept {
+  return {lerp(a.position, b.position, t),
+          slerp(a.orientation, b.orientation, t)};
+}
+
+}  // namespace volcast::geo

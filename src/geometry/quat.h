@@ -1,0 +1,127 @@
+// Unit quaternions for 3D orientation (the rotational half of a 6DoF pose).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/vec3.h"
+
+namespace volcast::geo {
+
+/// Quaternion w + xi + yj + zk. Orientation quaternions are kept unit-norm
+/// by construction; `normalized()` re-projects after accumulation drift.
+struct Quat {
+  double w = 1.0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Quat() = default;
+  constexpr Quat(double qw, double qx, double qy, double qz)
+      : w(qw), x(qx), y(qy), z(qz) {}
+
+  /// Rotation of `angle_rad` around (unit) `axis`.
+  [[nodiscard]] static Quat from_axis_angle(const Vec3& axis,
+                                            double angle_rad) noexcept {
+    const Vec3 u = axis.normalized();
+    const double half = 0.5 * angle_rad;
+    const double s = std::sin(half);
+    return {std::cos(half), u.x * s, u.y * s, u.z * s};
+  }
+
+  /// Yaw (around +Z), pitch (around +Y), roll (around +X), applied in
+  /// Z-Y-X order — the convention used by the trace generator.
+  [[nodiscard]] static Quat from_euler(double yaw, double pitch,
+                                       double roll) noexcept {
+    const Quat qz = from_axis_angle({0, 0, 1}, yaw);
+    const Quat qy = from_axis_angle({0, 1, 0}, pitch);
+    const Quat qx = from_axis_angle({1, 0, 0}, roll);
+    return qz * qy * qx;
+  }
+
+  /// Shortest-arc rotation taking unit vector `from` to unit vector `to`.
+  [[nodiscard]] static Quat between(const Vec3& from, const Vec3& to) noexcept {
+    const Vec3 f = from.normalized();
+    const Vec3 t = to.normalized();
+    const double d = f.dot(t);
+    if (d > 1.0 - 1e-12) return {};  // identical
+    if (d < -1.0 + 1e-12) {
+      // Opposite: rotate pi around any axis orthogonal to f.
+      Vec3 axis = f.cross({1, 0, 0});
+      if (axis.norm_sq() < 1e-12) axis = f.cross({0, 1, 0});
+      return from_axis_angle(axis, 3.14159265358979323846);
+    }
+    const Vec3 axis = f.cross(t);
+    const double s = std::sqrt((1.0 + d) * 2.0);
+    return Quat{s * 0.5, axis.x / s, axis.y / s, axis.z / s}.normalized();
+  }
+
+  constexpr Quat operator*(const Quat& o) const noexcept {
+    return {w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w};
+  }
+
+  [[nodiscard]] constexpr Quat conjugate() const noexcept {
+    return {w, -x, -y, -z};
+  }
+
+  [[nodiscard]] double norm() const noexcept {
+    return std::sqrt(w * w + x * x + y * y + z * z);
+  }
+
+  [[nodiscard]] Quat normalized() const noexcept {
+    const double n = norm();
+    if (n <= 0.0) return {};
+    return {w / n, x / n, y / n, z / n};
+  }
+
+  [[nodiscard]] constexpr double dot(const Quat& o) const noexcept {
+    return w * o.w + x * o.x + y * o.y + z * o.z;
+  }
+
+  /// Rotates vector v by this (unit) quaternion.
+  [[nodiscard]] Vec3 rotate(const Vec3& v) const noexcept {
+    // v' = v + 2u x (u x v + w v), u = (x, y, z)
+    const Vec3 u{x, y, z};
+    const Vec3 t = u.cross(v) * 2.0;
+    return v + t * w + u.cross(t);
+  }
+
+  /// Angle of the rotation (radians, in [0, pi]).
+  [[nodiscard]] double angle() const noexcept {
+    const double cw = std::clamp(std::abs(w), 0.0, 1.0);
+    return 2.0 * std::acos(cw);
+  }
+
+  /// Angular distance to another orientation (radians).
+  [[nodiscard]] double angular_distance(const Quat& o) const noexcept {
+    const double d = std::clamp(std::abs(dot(o)), 0.0, 1.0);
+    return 2.0 * std::acos(d);
+  }
+};
+
+/// Spherical linear interpolation between unit quaternions.
+[[nodiscard]] inline Quat slerp(const Quat& a, const Quat& b,
+                                double t) noexcept {
+  double d = a.dot(b);
+  Quat bb = b;
+  if (d < 0.0) {  // take the short way around
+    d = -d;
+    bb = {-b.w, -b.x, -b.y, -b.z};
+  }
+  if (d > 1.0 - 1e-9) {  // nearly parallel: lerp + renormalize
+    return Quat{a.w + (bb.w - a.w) * t, a.x + (bb.x - a.x) * t,
+                a.y + (bb.y - a.y) * t, a.z + (bb.z - a.z) * t}
+        .normalized();
+  }
+  const double theta = std::acos(d);
+  const double sin_theta = std::sin(theta);
+  const double wa = std::sin((1.0 - t) * theta) / sin_theta;
+  const double wb = std::sin(t * theta) / sin_theta;
+  return {wa * a.w + wb * bb.w, wa * a.x + wb * bb.x, wa * a.y + wb * bb.y,
+          wa * a.z + wb * bb.z};
+}
+
+}  // namespace volcast::geo

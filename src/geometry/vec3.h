@@ -1,0 +1,93 @@
+// 3D vector math. Double precision throughout: the simulator mixes
+// centimetre-scale cell geometry with metre-scale room geometry and
+// nanosecond-scale phase terms, and float error is an avoidable headache.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace volcast::geo {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double px, double py, double pz) : x(px), y(py), z(pz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator-() const noexcept { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr Vec3 operator/(double s) const noexcept {
+    return {x / s, y / s, z / s};
+  }
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec3& o) const noexcept = default;
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return dot(*this); }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(norm_sq()); }
+  [[nodiscard]] double distance(const Vec3& o) const noexcept {
+    return (*this - o).norm();
+  }
+
+  /// Unit vector in the same direction; returns +X for the zero vector so
+  /// that degenerate inputs stay finite instead of producing NaNs.
+  [[nodiscard]] Vec3 normalized() const noexcept {
+    const double n = norm();
+    if (n <= 0.0) return {1.0, 0.0, 0.0};
+    return *this / n;
+  }
+
+  /// Component-wise minimum / maximum — AABB building blocks.
+  [[nodiscard]] constexpr Vec3 min(const Vec3& o) const noexcept {
+    return {x < o.x ? x : o.x, y < o.y ? y : o.y, z < o.z ? z : o.z};
+  }
+  [[nodiscard]] constexpr Vec3 max(const Vec3& o) const noexcept {
+    return {x > o.x ? x : o.x, y > o.y ? y : o.y, z > o.z ? z : o.z};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) noexcept { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Linear interpolation between a and b at parameter t in [0, 1].
+[[nodiscard]] constexpr Vec3 lerp(const Vec3& a, const Vec3& b,
+                                  double t) noexcept {
+  return a + (b - a) * t;
+}
+
+}  // namespace volcast::geo

@@ -1,0 +1,41 @@
+// Customized multi-lobe beam synthesis (paper Section 4.2).
+//
+// The paper's rule for a two-user multicast beam combines the per-user
+// steering AWVs weighted by the *other* user's RSS:
+//     w = (Delta_2 * w_1 + Delta_1 * w_2) / (Delta_1 + Delta_2)
+// so the weaker user receives the larger share of the transmit power, and
+// the total power constraint is restored by re-normalizing the combined
+// AWV. Only per-user RSS is needed — no CSI — which is what makes the
+// scheme deployable on COTS devices (paper Section 4.2).
+//
+// We generalize to k users with weights proportional to the inverse of each
+// user's linear RSS (reduces exactly to the paper's rule at k = 2).
+#pragma once
+
+#include <span>
+
+#include "mmwave/phased_array.h"
+
+namespace volcast::mmwave {
+
+/// Combines per-user AWVs into one multi-lobe AWV using the paper's
+/// RSS-weighted rule. `rss_mw` are linear received powers (milliwatts)
+/// measured per user with its individual beam. Returns a power-normalized
+/// AWV. Throws std::invalid_argument on size mismatch, empty input, or a
+/// non-positive RSS.
+[[nodiscard]] Awv combine_awvs(std::span<const Awv> beams,
+                               std::span<const double> rss_mw);
+
+/// Equal-weight combination (the ablation baseline: what you get without
+/// the RSS balancing term).
+[[nodiscard]] Awv combine_awvs_equal(std::span<const Awv> beams);
+
+/// Beam-probing verdict (paper Section 5: multi-lobe beams can interfere
+/// via reflections and must be probed before use).
+struct BeamProbe {
+  double min_user_rss_dbm = 0.0;    // worst group member under the beam
+  double spill_rss_dbm = -200.0;    // strongest RSS leaked to a non-member
+  bool acceptable = true;           // min-user improved and spill bounded
+};
+
+}  // namespace volcast::mmwave

@@ -1,0 +1,57 @@
+#include "mmwave/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace volcast::mmwave {
+
+double rss_dbm(const PhasedArray& tx, const Awv& w, const Channel& channel,
+               const geo::Vec3& rx_pos,
+               std::span<const geo::BodyObstacle> bodies,
+               const LinkBudget& budget, const BlockageModel& blockage) {
+  const auto paths = channel.paths(tx.pose().position, rx_pos, bodies,
+                                   blockage);
+  double total_mw = 0.0;
+  for (const Path& path : paths) {
+    const double gain_db = ratio_to_db(
+        std::max(tx.gain(w, path.tx_direction), 1e-12));
+    const double rx_dbm = budget.tx_power_dbm + gain_db -
+                          channel.fspl_db(path.length_m) -
+                          path.extra_loss_db + budget.rx_gain_dbi -
+                          budget.implementation_loss_db;
+    total_mw += dbm_to_mw(rx_dbm);
+  }
+  if (total_mw <= 0.0) return -200.0;
+  return mw_to_dbm(total_mw);
+}
+
+double best_beam_rss_dbm(const PhasedArray& tx, const Codebook& codebook,
+                         const Channel& channel, const geo::Vec3& rx_pos,
+                         std::span<const geo::BodyObstacle> bodies,
+                         const LinkBudget& budget,
+                         const BlockageModel& blockage) {
+  const std::size_t beam = codebook.best_beam_toward(tx, rx_pos);
+  return rss_dbm(tx, codebook.beam(beam), channel, rx_pos, bodies, budget,
+                 blockage);
+}
+
+ShadowingProcess::ShadowingProcess(double sigma_db, double coherence_time_s,
+                                   std::uint64_t seed)
+    : sigma_db_(sigma_db),
+      coherence_time_s_(std::max(coherence_time_s, 1e-3)),
+      rng_(seed) {
+  value_db_ = rng_.normal(0.0, sigma_db_);
+}
+
+double ShadowingProcess::step(double dt_s) {
+  // AR(1) / Gauss-Markov: rho = exp(-dt / tau) keeps the marginal variance
+  // at sigma^2 for any step size.
+  const double rho = std::exp(-std::max(dt_s, 0.0) / coherence_time_s_);
+  const double innovation_sigma = sigma_db_ * std::sqrt(1.0 - rho * rho);
+  value_db_ = rho * value_db_ + rng_.normal(0.0, innovation_sigma);
+  return value_db_;
+}
+
+}  // namespace volcast::mmwave

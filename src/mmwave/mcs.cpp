@@ -1,0 +1,52 @@
+#include "mmwave/mcs.h"
+
+#include <array>
+
+namespace volcast::mmwave {
+namespace {
+
+// IEEE 802.11ad-2012 Table 21-3 (SC PHY) rates with the standard's receiver
+// sensitivity requirements (Table 21-25). MCS 0 is the control PHY.
+constexpr std::array<McsEntry, 13> kTable{{
+    {0, 27.5, -78.0},
+    {1, 385.0, -68.0},
+    {2, 770.0, -66.0},
+    {3, 962.5, -65.0},
+    {4, 1155.0, -64.0},
+    {5, 1251.25, -62.0},
+    {6, 1540.0, -63.0},
+    {7, 1925.0, -62.0},
+    {8, 2310.0, -61.0},
+    {9, 2502.5, -59.0},
+    {10, 3080.0, -55.0},
+    {11, 3850.0, -54.0},
+    {12, 4620.0, -53.0},
+}};
+
+}  // namespace
+
+McsTable::McsTable() = default;
+
+std::span<const McsEntry> McsTable::entries() const noexcept {
+  return kTable;
+}
+
+McsEntry McsTable::select(double rss_dbm) const noexcept {
+  McsEntry best{-1, 0.0, 0.0};
+  for (const McsEntry& entry : kTable) {
+    if (rss_dbm >= entry.sensitivity_dbm &&
+        entry.phy_rate_mbps > best.phy_rate_mbps)
+      best = entry;
+  }
+  return best;
+}
+
+double McsTable::rate_mbps(double rss_dbm) const noexcept {
+  return select(rss_dbm).phy_rate_mbps;
+}
+
+double McsTable::goodput_mbps(double rss_dbm) const noexcept {
+  return rate_mbps(rss_dbm) * mac_efficiency;
+}
+
+}  // namespace volcast::mmwave

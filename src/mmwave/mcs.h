@@ -1,0 +1,45 @@
+// 802.11ad single-carrier modulation and coding schemes: receiver
+// sensitivity thresholds and PHY data rates. The paper's anchor point —
+// "RSS of -68 dBm ... can provide approximately 384 Mbps" — is MCS 1 of
+// this table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace volcast::mmwave {
+
+/// One SC MCS entry.
+struct McsEntry {
+  int index = 0;
+  double phy_rate_mbps = 0.0;
+  double sensitivity_dbm = 0.0;
+};
+
+/// The 802.11ad SC PHY rate set (MCS 1-12) plus the control PHY (MCS 0).
+class McsTable {
+ public:
+  /// Standard-compliant default table.
+  McsTable();
+
+  [[nodiscard]] std::span<const McsEntry> entries() const noexcept;
+
+  /// Highest-rate MCS decodable at `rss_dbm`; returns the control PHY
+  /// (index 0, rate 27.5 Mbps) below MCS 1 sensitivity and a zero-rate
+  /// sentinel (index -1) when even control frames fail.
+  [[nodiscard]] McsEntry select(double rss_dbm) const noexcept;
+
+  /// PHY rate for `select(rss_dbm)`, in Mbps (0 when out of range).
+  [[nodiscard]] double rate_mbps(double rss_dbm) const noexcept;
+
+  /// Effective MAC-layer throughput: PHY rate times the MAC efficiency
+  /// factor (aggregation, ACKs, beacon/beamforming overhead).
+  [[nodiscard]] double goodput_mbps(double rss_dbm) const noexcept;
+
+  /// MAC efficiency factor in (0, 1]; default 0.65, typical of 802.11ad
+  /// A-MPDU operation.
+  double mac_efficiency = 0.65;
+};
+
+}  // namespace volcast::mmwave

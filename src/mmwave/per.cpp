@@ -1,0 +1,40 @@
+#include "mmwave/per.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace volcast::mmwave {
+
+double PerModel::per(double rss_dbm, const McsEntry& mcs) const noexcept {
+  if (mcs.phy_rate_mbps <= 0.0) return 1.0;
+  const double margin = rss_dbm - mcs.sensitivity_dbm;
+  return 1.0 / (1.0 + std::exp(steepness * (margin - midpoint_db)));
+}
+
+double PerModel::effective_goodput_mbps(const McsTable& table,
+                                        double rss_dbm) const noexcept {
+  double best = 0.0;
+  for (const McsEntry& entry : table.entries()) {
+    if (entry.index < 1) continue;  // control PHY carries no video payload
+    const double expected =
+        (1.0 - per(rss_dbm, entry)) * entry.phy_rate_mbps *
+        table.mac_efficiency;
+    best = std::max(best, expected);
+  }
+  return best;
+}
+
+double PerModel::multicast_goodput_mbps(const McsTable& table,
+                                        double rss_dbm,
+                                        double target_per) const noexcept {
+  const double backed_off = rss_dbm - multicast_backoff_db;
+  double best = 0.0;
+  for (const McsEntry& entry : table.entries()) {
+    if (entry.index < 1) continue;
+    if (per(backed_off, entry) <= target_per)
+      best = std::max(best, entry.phy_rate_mbps * table.mac_efficiency);
+  }
+  return best;
+}
+
+}  // namespace volcast::mmwave

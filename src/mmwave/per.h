@@ -1,0 +1,40 @@
+// Packet error rate vs. SNR margin, and PER-aware rate selection.
+//
+// The sensitivity thresholds in the MCS table are the "just decodable"
+// points; real links see a PER cliff around them. Rate selection that
+// merely picks the highest decodable MCS rides that cliff — PER-aware
+// selection maximizes expected goodput (1 - PER) * rate instead, and
+// multicast (which has no per-receiver retransmission) backs off an extra
+// margin, the "reliable multicast" MCS choice the paper describes.
+#pragma once
+
+#include "mmwave/mcs.h"
+
+namespace volcast::mmwave {
+
+/// Logistic PER model around each MCS's sensitivity.
+struct PerModel {
+  /// PER = 1 / (1 + exp(steepness * (margin_db - midpoint_db))).
+  double midpoint_db = 0.5;   // margin at which PER = 50%
+  double steepness = 2.2;     // cliff sharpness (per dB)
+  /// Extra SNR margin required for multicast payloads (no retransmission,
+  /// every member must receive the frame).
+  double multicast_backoff_db = 2.0;
+
+  /// Packet error rate for one MCS at the given RSS.
+  [[nodiscard]] double per(double rss_dbm, const McsEntry& mcs) const noexcept;
+
+  /// Expected unicast goodput: picks the MCS maximizing
+  /// (1 - PER) * phy_rate * mac_efficiency.
+  [[nodiscard]] double effective_goodput_mbps(const McsTable& table,
+                                              double rss_dbm) const noexcept;
+
+  /// Multicast rate: the backed-off MCS choice (highest rate whose PER at
+  /// rss - multicast_backoff_db is below `target_per`), times MAC
+  /// efficiency; 0 when nothing qualifies.
+  [[nodiscard]] double multicast_goodput_mbps(
+      const McsTable& table, double rss_dbm,
+      double target_per = 0.01) const noexcept;
+};
+
+}  // namespace volcast::mmwave

@@ -1,0 +1,84 @@
+#include "mmwave/phased_array.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace volcast::mmwave {
+
+Awv power_normalized(Awv w) {
+  double power = 0.0;
+  for (const Complex& c : w) power += std::norm(c);
+  if (power <= 0.0) return w;
+  const double scale = 1.0 / std::sqrt(power);
+  for (Complex& c : w) c *= scale;
+  return w;
+}
+
+PhasedArray::PhasedArray(const ArrayGeometry& geometry, const geo::Pose& pose,
+                         double carrier_hz)
+    : geometry_(geometry),
+      pose_(pose),
+      wavelength_m_(wavelength_m(carrier_hz)) {
+  if (geometry.element_count() == 0)
+    throw std::invalid_argument("PhasedArray: empty geometry");
+  if (carrier_hz <= 0.0)
+    throw std::invalid_argument("PhasedArray: non-positive carrier");
+  const double d = geometry.spacing_wavelengths * wavelength_m_;
+  elements_local_.reserve(geometry.element_count());
+  const double y0 = -0.5 * d * (geometry.ny - 1);
+  const double z0 = -0.5 * d * (geometry.nz - 1);
+  for (unsigned iz = 0; iz < geometry.nz; ++iz)
+    for (unsigned iy = 0; iy < geometry.ny; ++iy)
+      elements_local_.push_back(
+          {0.0, y0 + d * static_cast<double>(iy),
+           z0 + d * static_cast<double>(iz)});
+}
+
+geo::Vec3 PhasedArray::to_local(const geo::Vec3& dir_world) const noexcept {
+  const geo::Vec3 u = dir_world.normalized();
+  return {u.dot(pose_.forward()), u.dot(pose_.left()), u.dot(pose_.up())};
+}
+
+Awv PhasedArray::steer(const geo::Vec3& dir_world) const {
+  const geo::Vec3 local = to_local(dir_world);
+  const double k = 2.0 * std::numbers::pi / wavelength_m_;
+  Awv w;
+  w.reserve(elements_local_.size());
+  for (const geo::Vec3& e : elements_local_) {
+    const double phase = k * e.dot(local);
+    // Conjugate steering: cancel the per-element propagation phase.
+    w.emplace_back(std::cos(phase), -std::sin(phase));
+  }
+  return power_normalized(std::move(w));
+}
+
+Awv PhasedArray::steer_at(const geo::Vec3& target_world) const {
+  return steer(target_world - pose_.position);
+}
+
+double PhasedArray::element_gain(double cos_theta) noexcept {
+  constexpr double kPeak = 4.0;  // ~6 dBi
+  if (cos_theta <= 0.0) return kPeak * 1e-3;  // backplane isolation
+  return kPeak * cos_theta * cos_theta;
+}
+
+double PhasedArray::gain(const Awv& w, const geo::Vec3& dir_world) const {
+  if (w.size() != elements_local_.size()) return 0.0;
+  const geo::Vec3 local = to_local(dir_world);
+  const double k = 2.0 * std::numbers::pi / wavelength_m_;
+  Complex af{0.0, 0.0};
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double phase = k * elements_local_[i].dot(local);
+    af += w[i] * Complex{std::cos(phase), std::sin(phase)};
+  }
+  return std::norm(af) * element_gain(local.x);
+}
+
+double PhasedArray::gain_dbi(const Awv& w, const geo::Vec3& dir_world) const {
+  return ratio_to_db(std::max(gain(w, dir_world), 1e-12));
+}
+
+}  // namespace volcast::mmwave

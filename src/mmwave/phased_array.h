@@ -1,0 +1,85 @@
+// Phased antenna array with explicit antenna weight vectors (AWVs).
+//
+// Models the Airfide 802.11ad AP from the paper's testbed (8 phased-array
+// patches, Fig. 3a) as a uniform planar array: elements on a half-wavelength
+// grid in the array's local y-z plane, boresight along local +x. A beam IS
+// an AWV (one complex weight per element); beam gain in a direction is the
+// array factor under that AWV times the element pattern. The paper's custom
+// multi-lobe beams are synthesized by combining AWVs (beam_design.h), which
+// is why the AWV is a first-class value here rather than an internal detail.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "geometry/pose.h"
+#include "geometry/vec3.h"
+
+namespace volcast::mmwave {
+
+using Complex = std::complex<double>;
+
+/// Antenna weight vector: one complex weight per element. Power-normalized
+/// AWVs satisfy sum |w_i|^2 == 1 (total transmit power constraint — the
+/// constraint the paper's multi-lobe combination must respect).
+using Awv = std::vector<Complex>;
+
+/// Returns w scaled so that sum |w_i|^2 == 1 (no-op for a zero vector).
+[[nodiscard]] Awv power_normalized(Awv w);
+
+/// Element layout of the array.
+struct ArrayGeometry {
+  unsigned ny = 8;  ///< elements along local y (the 8 patch columns)
+  unsigned nz = 4;  ///< elements along local z
+  double spacing_wavelengths = 0.5;
+
+  [[nodiscard]] unsigned element_count() const noexcept { return ny * nz; }
+};
+
+/// A mounted phased array: geometry + world pose + carrier.
+class PhasedArray {
+ public:
+  /// `pose.forward()` is the boresight; `pose.left()`/`pose.up()` span the
+  /// element plane. Throws std::invalid_argument for an empty geometry.
+  PhasedArray(const ArrayGeometry& geometry, const geo::Pose& pose,
+              double carrier_hz);
+
+  [[nodiscard]] const ArrayGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] const geo::Pose& pose() const noexcept { return pose_; }
+  [[nodiscard]] std::size_t element_count() const noexcept {
+    return elements_local_.size();
+  }
+
+  /// Conjugate-steering AWV pointed at the world-space direction `dir`
+  /// (need not be normalized), power-normalized.
+  [[nodiscard]] Awv steer(const geo::Vec3& dir_world) const;
+
+  /// AWV pointed at a world position (steer toward target - array origin).
+  [[nodiscard]] Awv steer_at(const geo::Vec3& target_world) const;
+
+  /// Linear transmit power gain of AWV `w` toward world direction `dir`:
+  /// |array factor|^2 scaled by the single-element pattern. For a
+  /// power-normalized conjugate-steered AWV the peak equals
+  /// element_count() * element peak gain.
+  [[nodiscard]] double gain(const Awv& w, const geo::Vec3& dir_world) const;
+
+  /// gain() in dBi.
+  [[nodiscard]] double gain_dbi(const Awv& w, const geo::Vec3& dir_world) const;
+
+  /// Cosine-squared element power pattern with ~6 dBi peak and a hard
+  /// backplane: 4 cos^2(theta) in front, -30 dB of the peak behind.
+  [[nodiscard]] static double element_gain(double cos_theta) noexcept;
+
+ private:
+  ArrayGeometry geometry_;
+  geo::Pose pose_;
+  double wavelength_m_;
+  std::vector<geo::Vec3> elements_local_;  // metres, local frame
+
+  /// World direction -> (local direction, cos(theta) from boresight).
+  [[nodiscard]] geo::Vec3 to_local(const geo::Vec3& dir_world) const noexcept;
+};
+
+}  // namespace volcast::mmwave

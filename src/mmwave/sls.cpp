@@ -1,0 +1,20 @@
+#include "mmwave/sls.h"
+
+namespace volcast::mmwave {
+
+SlsProcedure::SlsProcedure(SlsTiming timing) : timing_(timing) {}
+
+double SlsProcedure::on_air_s(std::size_t sector_count) const noexcept {
+  // Initiator TXSS + responder TXSS (same sector count on both sides is
+  // the common symmetric configuration) + feedback.
+  const double one_side =
+      static_cast<double>(sector_count) *
+      (timing_.ssw_frame_s + timing_.sbifs_s);
+  return 2.0 * one_side + timing_.feedback_s;
+}
+
+double SlsProcedure::outage_s(std::size_t sector_count) const noexcept {
+  return on_air_s(sector_count) * timing_.mac_stretch;
+}
+
+}  // namespace volcast::mmwave

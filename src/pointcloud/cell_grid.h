@@ -1,0 +1,65 @@
+// Spatial partition of a volumetric video into independently prefetchable,
+// independently decodable cells (the paper partitions into 25/50/100 cm
+// cubes; Section 3, Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "pointcloud/point_cloud.h"
+
+namespace volcast::vv {
+
+/// Index of a cell within a CellGrid (linear, row-major x-fastest).
+using CellId = std::uint32_t;
+
+/// Uniform grid of cubic cells covering a content bounding box.
+///
+/// The grid geometry is fixed for the whole video (built from the union of
+/// all frame bounds) so that cell ids are stable across frames — a
+/// requirement for visibility maps and per-cell rate adaptation.
+class CellGrid {
+ public:
+  /// Covers `content_bounds` with cubes of edge `cell_size_m`.
+  /// Throws std::invalid_argument for non-positive sizes or invalid bounds.
+  CellGrid(const geo::Aabb& content_bounds, double cell_size_m);
+
+  [[nodiscard]] double cell_size_m() const noexcept { return cell_size_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+  [[nodiscard]] std::uint32_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::uint32_t ny() const noexcept { return ny_; }
+  [[nodiscard]] std::uint32_t nz() const noexcept { return nz_; }
+  [[nodiscard]] const geo::Aabb& bounds() const noexcept { return bounds_; }
+
+  /// Axis-aligned box of the given cell.
+  [[nodiscard]] geo::Aabb cell_bounds(CellId id) const;
+
+  /// Center point of the given cell.
+  [[nodiscard]] geo::Vec3 cell_center(CellId id) const;
+
+  /// Cell containing `p`; points on the outer boundary are clamped into the
+  /// closest edge cell so every content point maps somewhere.
+  [[nodiscard]] CellId locate(const geo::Vec3& p) const noexcept;
+
+  /// Buckets every point of `cloud` by containing cell.
+  /// Result has cell_count() entries; entry c lists indices into
+  /// cloud.points().
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> assign(
+      const PointCloud& cloud) const;
+
+  /// Per-cell point counts only (cheaper than assign()).
+  [[nodiscard]] std::vector<std::uint32_t> occupancy(
+      const PointCloud& cloud) const;
+
+ private:
+  geo::Aabb bounds_;
+  double cell_size_;
+  std::uint32_t nx_ = 0;
+  std::uint32_t ny_ = 0;
+  std::uint32_t nz_ = 0;
+};
+
+}  // namespace volcast::vv

@@ -1,0 +1,254 @@
+#include "pointcloud/codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "geometry/morton.h"
+#include "pointcloud/range_coder.h"
+
+namespace volcast::vv {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic{'V', 'P', 'C', '1'};
+constexpr unsigned kMaxQuantBits = 21;
+constexpr unsigned kMaxDeltaBits = 64;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | in[at + static_cast<std::size_t>(i)];
+  return v;
+}
+
+double get_f64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i)
+    bits = (bits << 8) | in[at + static_cast<std::size_t>(i)];
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Context models for one non-negative integer stream: capped adaptive
+/// unary for the bit length, adaptive models for the two payload bits under
+/// the MSB, raw bits for the rest.
+struct UIntModels {
+  std::array<BitModel, kMaxDeltaBits + 1> length;
+  std::array<BitModel, 2> payload;
+};
+
+void encode_uint(RangeEncoder& enc, UIntModels& m, std::uint64_t value) {
+  unsigned len = 0;
+  while ((value >> len) != 0 && len < kMaxDeltaBits) ++len;
+  for (unsigned i = 0; i < len; ++i) enc.encode_bit(m.length[i], true);
+  if (len < kMaxDeltaBits) enc.encode_bit(m.length[len], false);
+  if (len <= 1) return;  // MSB implied by length
+  // Bits below the MSB: adaptive for the top two, raw below.
+  unsigned remaining = len - 1;
+  for (unsigned k = 0; k < 2 && remaining > 0; ++k) {
+    --remaining;
+    enc.encode_bit(m.payload[k], ((value >> remaining) & 1u) != 0);
+  }
+  if (remaining > 0)
+    enc.encode_raw(value & ((std::uint64_t{1} << remaining) - 1), remaining);
+}
+
+std::uint64_t decode_uint(RangeDecoder& dec, UIntModels& m) {
+  unsigned len = 0;
+  while (len < kMaxDeltaBits && dec.decode_bit(m.length[len])) ++len;
+  if (len == 0) return 0;
+  std::uint64_t value = 1;  // the implied MSB
+  unsigned remaining = len - 1;
+  for (unsigned k = 0; k < 2 && remaining > 0; ++k) {
+    --remaining;
+    value = (value << 1) | static_cast<std::uint64_t>(dec.decode_bit(m.payload[k]));
+  }
+  if (remaining > 0) value = (value << remaining) | dec.decode_raw(remaining);
+  return value;
+}
+
+[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+struct ColorModels {
+  BitModel zero;
+  UIntModels magnitude;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const PointCloud& cloud,
+                                 const CodecConfig& config) {
+  if (config.quant_bits == 0 || config.quant_bits > kMaxQuantBits)
+    throw std::invalid_argument("codec: quant_bits out of range [1, 21]");
+
+  const auto& pts = cloud.points();
+  const geo::Aabb bounds = cloud.bounds();
+
+  unsigned quant_bits = config.quant_bits;
+  if (config.resolution_m > 0.0 && !pts.empty()) {
+    const geo::Vec3 e = bounds.extent();
+    const double span = std::max({e.x, e.y, e.z});
+    unsigned bits = 1;
+    while (bits < kMaxQuantBits &&
+           span / static_cast<double>((std::uint64_t{1} << bits) - 1) >
+               config.resolution_m)
+      ++bits;
+    quant_bits = bits;
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kCodecHeaderBytes + pts.size() * 3);
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u32(out, static_cast<std::uint32_t>(pts.size()));
+  out.push_back(static_cast<std::uint8_t>(quant_bits));
+  out.push_back(config.encode_colors ? 1 : 0);
+  const geo::Aabb stored =
+      pts.empty() ? geo::Aabb{{0, 0, 0}, {0, 0, 0}} : bounds;
+  put_f64(out, stored.lo.x);
+  put_f64(out, stored.lo.y);
+  put_f64(out, stored.lo.z);
+  put_f64(out, stored.hi.x);
+  put_f64(out, stored.hi.y);
+  put_f64(out, stored.hi.z);
+  if (pts.empty()) return out;
+
+  const double max_q =
+      static_cast<double>((std::uint64_t{1} << quant_bits) - 1);
+  const geo::Vec3 extent = stored.extent();
+  auto quantize_axis = [max_q](double v, double lo, double len) {
+    if (len <= 0.0) return std::uint32_t{0};
+    const double q = std::round((v - lo) / len * max_q);
+    return static_cast<std::uint32_t>(std::clamp(q, 0.0, max_q));
+  };
+
+  struct Keyed {
+    std::uint64_t code;
+    std::uint32_t index;
+  };
+  std::vector<Keyed> keyed(pts.size());
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    const geo::Vec3& p = pts[i].position;
+    const std::uint32_t qx = quantize_axis(p.x, stored.lo.x, extent.x);
+    const std::uint32_t qy = quantize_axis(p.y, stored.lo.y, extent.y);
+    const std::uint32_t qz = quantize_axis(p.z, stored.lo.z, extent.z);
+    keyed[i] = {geo::morton_encode(qx, qy, qz), i};
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    return a.code < b.code || (a.code == b.code && a.index < b.index);
+  });
+
+  RangeEncoder enc;
+  UIntModels delta_models;
+  std::array<ColorModels, 3> color_models;
+  std::uint64_t prev_code = 0;
+  std::array<std::uint8_t, 3> prev_color{128, 128, 128};
+  for (const Keyed& k : keyed) {
+    encode_uint(enc, delta_models, k.code - prev_code);
+    prev_code = k.code;
+    if (config.encode_colors) {
+      const Point& p = pts[k.index];
+      const std::array<std::uint8_t, 3> c{p.r, p.g, p.b};
+      for (int ch = 0; ch < 3; ++ch) {
+        const auto chan = static_cast<std::size_t>(ch);
+        const std::int64_t diff =
+            std::int64_t{c[chan]} - std::int64_t{prev_color[chan]};
+        const bool is_zero = diff == 0;
+        enc.encode_bit(color_models[chan].zero, !is_zero);
+        if (!is_zero)
+          encode_uint(enc, color_models[chan].magnitude, zigzag(diff) - 1);
+        prev_color[chan] = c[chan];
+      }
+    }
+  }
+  const std::vector<std::uint8_t> payload = enc.finish();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+PointCloud decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kCodecHeaderBytes ||
+      !std::equal(kMagic.begin(), kMagic.end(), data.begin()))
+    throw std::runtime_error("codec: bad header");
+  const std::uint32_t count = get_u32(data, 4);
+  const unsigned quant_bits = data[8];
+  const bool has_colors = data[9] != 0;
+  if (quant_bits == 0 || quant_bits > kMaxQuantBits)
+    throw std::runtime_error("codec: corrupt quant_bits");
+  // Corruption guard: even at the entropy floor a point costs on the order
+  // of a bit, so a count wildly beyond 64 x payload bits is a corrupt
+  // header, not a dense cloud. Prevents multi-gigabyte reserve() on a
+  // flipped count field.
+  if (count > 64 * 8 * (data.size() - kCodecHeaderBytes) + 64)
+    throw std::runtime_error("codec: corrupt point count");
+  geo::Aabb bounds;
+  bounds.lo = {get_f64(data, 10), get_f64(data, 18), get_f64(data, 26)};
+  bounds.hi = {get_f64(data, 34), get_f64(data, 42), get_f64(data, 50)};
+
+  PointCloud cloud;
+  cloud.reserve(count);
+  if (count == 0) return cloud;
+
+  const double max_q =
+      static_cast<double>((std::uint64_t{1} << quant_bits) - 1);
+  const geo::Vec3 extent = bounds.extent();
+  auto dequantize_axis = [max_q](std::uint32_t q, double lo, double len) {
+    if (len <= 0.0) return lo;
+    return lo + static_cast<double>(q) / max_q * len;
+  };
+
+  RangeDecoder dec(data.subspan(kCodecHeaderBytes));
+  UIntModels delta_models;
+  std::array<ColorModels, 3> color_models;
+  std::uint64_t code = 0;
+  std::array<std::uint8_t, 3> color{128, 128, 128};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    code += decode_uint(dec, delta_models);
+    const auto [qx, qy, qz] = geo::morton_decode(code);
+    Point p;
+    p.position = {dequantize_axis(qx, bounds.lo.x, extent.x),
+                  dequantize_axis(qy, bounds.lo.y, extent.y),
+                  dequantize_axis(qz, bounds.lo.z, extent.z)};
+    if (has_colors) {
+      for (int ch = 0; ch < 3; ++ch) {
+        const auto chan = static_cast<std::size_t>(ch);
+        if (dec.decode_bit(color_models[chan].zero)) {
+          const std::int64_t diff =
+              unzigzag(decode_uint(dec, color_models[chan].magnitude) + 1);
+          color[chan] = static_cast<std::uint8_t>(
+              std::int64_t{color[chan]} + diff);
+        }
+      }
+    }
+    p.r = color[0];
+    p.g = color[1];
+    p.b = color[2];
+    cloud.add(p);
+  }
+  return cloud;
+}
+
+}  // namespace volcast::vv

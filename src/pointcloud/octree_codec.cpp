@@ -1,0 +1,297 @@
+#include "pointcloud/octree_codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "geometry/morton.h"
+#include "pointcloud/range_coder.h"
+
+namespace volcast::vv {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic{'V', 'O', 'C', '1'};
+constexpr unsigned kMaxDepth = 16;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 1 + 1 + 6 * 8;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | in[at + static_cast<std::size_t>(i)];
+  return v;
+}
+
+double get_f64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i)
+    bits = (bits << 8) | in[at + static_cast<std::size_t>(i)];
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Occupancy-bit contexts: (level bucket, child index).
+struct OccupancyModels {
+  static constexpr unsigned kLevelBuckets = 8;
+  std::array<BitModel, kLevelBuckets * 8> models;
+
+  BitModel& at(unsigned level, unsigned child) {
+    const unsigned bucket = std::min(level, kLevelBuckets - 1);
+    return models[bucket * 8 + child];
+  }
+};
+
+struct ColorCoder {
+  BitModel zero[3];
+  // Simple adaptive magnitude coding: unary length + raw payload.
+  std::array<BitModel, 9> length[3];
+  std::array<std::uint8_t, 3> previous{128, 128, 128};
+
+  void encode(RangeEncoder& enc, const std::array<std::uint8_t, 3>& color) {
+    for (int ch = 0; ch < 3; ++ch) {
+      const auto chan = static_cast<std::size_t>(ch);
+      const int diff = int{color[chan]} - int{previous[chan]};
+      enc.encode_bit(zero[chan], diff != 0);
+      if (diff != 0) {
+        const auto mag = static_cast<std::uint32_t>(
+            (diff > 0 ? diff * 2 - 1 : -diff * 2) - 1);  // zigzag - 1
+        unsigned len = 0;
+        while ((mag >> len) != 0 && len < 9) ++len;
+        for (unsigned i = 0; i < len; ++i)
+          enc.encode_bit(length[chan][i], true);
+        if (len < 9) enc.encode_bit(length[chan][len], false);
+        if (len > 1)
+          enc.encode_raw(mag & ((1u << (len - 1)) - 1), len - 1);
+      }
+      previous[chan] = color[chan];
+    }
+  }
+
+  std::array<std::uint8_t, 3> decode(RangeDecoder& dec) {
+    for (int ch = 0; ch < 3; ++ch) {
+      const auto chan = static_cast<std::size_t>(ch);
+      if (dec.decode_bit(zero[chan])) {
+        unsigned len = 0;
+        while (len < 9 && dec.decode_bit(length[chan][len])) ++len;
+        std::uint32_t mag = 0;
+        if (len > 0) {
+          mag = 1;
+          if (len > 1)
+            mag = (mag << (len - 1)) |
+                  static_cast<std::uint32_t>(dec.decode_raw(len - 1));
+        }
+        const auto zig = mag + 1;
+        const int diff = (zig & 1) ? static_cast<int>((zig + 1) / 2)
+                                   : -static_cast<int>(zig / 2);
+        previous[chan] =
+            static_cast<std::uint8_t>(int{previous[chan]} + diff);
+      }
+    }
+    return previous;
+  }
+};
+
+struct Voxel {
+  std::uint64_t code;  // Morton code at full depth
+  std::uint32_t r_sum, g_sum, b_sum, count;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> octree_encode(const PointCloud& cloud,
+                                        const OctreeCodecConfig& config) {
+  if (config.depth == 0 || config.depth > kMaxDepth)
+    throw std::invalid_argument("octree codec: depth out of range [1, 16]");
+
+  const geo::Aabb bounds = cloud.bounds();
+  const geo::Aabb stored =
+      cloud.empty() ? geo::Aabb{{0, 0, 0}, {0, 0, 0}} : bounds;
+
+  // Voxelize: quantize into the cubic 2^depth grid, merge duplicates,
+  // average colors.
+  const double max_q = static_cast<double>((1u << config.depth) - 1);
+  const geo::Vec3 extent = stored.extent();
+  const double span = std::max({extent.x, extent.y, extent.z, 1e-12});
+  auto quantize = [&](double v, double lo) {
+    const double q = std::floor((v - lo) / span * (max_q + 1.0));
+    return static_cast<std::uint32_t>(std::clamp(q, 0.0, max_q));
+  };
+
+  std::vector<Voxel> voxels;
+  voxels.reserve(cloud.size());
+  for (const Point& p : cloud.points()) {
+    const auto code = geo::morton_encode(quantize(p.position.x, stored.lo.x),
+                                         quantize(p.position.y, stored.lo.y),
+                                         quantize(p.position.z, stored.lo.z));
+    voxels.push_back({code, p.r, p.g, p.b, 1});
+  }
+  std::sort(voxels.begin(), voxels.end(),
+            [](const Voxel& a, const Voxel& b) { return a.code < b.code; });
+  // Merge equal codes.
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < voxels.size(); ++i) {
+    if (write > 0 && voxels[write - 1].code == voxels[i].code) {
+      voxels[write - 1].r_sum += voxels[i].r_sum;
+      voxels[write - 1].g_sum += voxels[i].g_sum;
+      voxels[write - 1].b_sum += voxels[i].b_sum;
+      voxels[write - 1].count += voxels[i].count;
+    } else {
+      voxels[write++] = voxels[i];
+    }
+  }
+  voxels.resize(write);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + voxels.size());
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u32(out, static_cast<std::uint32_t>(voxels.size()));
+  out.push_back(static_cast<std::uint8_t>(config.depth));
+  out.push_back(config.encode_colors ? 1 : 0);
+  put_f64(out, stored.lo.x);
+  put_f64(out, stored.lo.y);
+  put_f64(out, stored.lo.z);
+  put_f64(out, stored.hi.x);
+  put_f64(out, stored.hi.y);
+  put_f64(out, stored.hi.z);
+  if (voxels.empty()) return out;
+
+  RangeEncoder enc;
+  OccupancyModels occupancy;
+  ColorCoder colors;
+
+  // Depth-first over the implicit octree: a node is a contiguous range of
+  // the Morton-sorted voxels sharing a code prefix.
+  struct Frame {
+    std::size_t begin, end;
+    unsigned level;  // 0 = root
+  };
+  std::vector<Frame> stack{{0, voxels.size(), 0}};
+  const unsigned depth = config.depth;
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.level == depth) {
+      if (config.encode_colors) {
+        const Voxel& v = voxels[frame.begin];
+        colors.encode(enc, {static_cast<std::uint8_t>(v.r_sum / v.count),
+                            static_cast<std::uint8_t>(v.g_sum / v.count),
+                            static_cast<std::uint8_t>(v.b_sum / v.count)});
+      }
+      continue;
+    }
+    // Partition the range by the 3-bit child index at this level.
+    const unsigned shift = 3 * (depth - 1 - frame.level);
+    std::array<std::size_t, 9> edges{};
+    edges[0] = frame.begin;
+    std::size_t pos = frame.begin;
+    for (unsigned child = 0; child < 8; ++child) {
+      while (pos < frame.end &&
+             ((voxels[pos].code >> shift) & 7u) == child)
+        ++pos;
+      edges[child + 1] = pos;
+    }
+    // Emit the occupancy mask, then push occupied children in reverse so
+    // the DFS visits them in ascending Morton order.
+    for (unsigned child = 0; child < 8; ++child) {
+      enc.encode_bit(occupancy.at(frame.level, child),
+                     edges[child + 1] > edges[child]);
+    }
+    for (unsigned child = 8; child-- > 0;) {
+      if (edges[child + 1] > edges[child])
+        stack.push_back({edges[child], edges[child + 1], frame.level + 1});
+    }
+  }
+  const auto payload = enc.finish();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+PointCloud octree_decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderBytes ||
+      !std::equal(kMagic.begin(), kMagic.end(), data.begin()))
+    throw std::runtime_error("octree codec: bad header");
+  const std::uint32_t voxel_count = get_u32(data, 4);
+  const unsigned depth = data[8];
+  const bool has_colors = data[9] != 0;
+  if (depth == 0 || depth > kMaxDepth)
+    throw std::runtime_error("octree codec: corrupt depth");
+  if (voxel_count > 64 * 8 * (data.size() - kHeaderBytes) + 64)
+    throw std::runtime_error("octree codec: corrupt voxel count");
+  geo::Aabb bounds;
+  bounds.lo = {get_f64(data, 10), get_f64(data, 18), get_f64(data, 26)};
+  bounds.hi = {get_f64(data, 34), get_f64(data, 42), get_f64(data, 50)};
+
+  PointCloud cloud;
+  cloud.reserve(voxel_count);
+  if (voxel_count == 0) return cloud;
+
+  const double max_q = static_cast<double>((1u << depth) - 1);
+  const geo::Vec3 extent = bounds.extent();
+  const double span = std::max({extent.x, extent.y, extent.z, 1e-12});
+  const double step = span / (max_q + 1.0);
+  auto voxel_center = [&](std::uint32_t q, double lo) {
+    return lo + (static_cast<double>(q) + 0.5) * step;
+  };
+
+  RangeDecoder dec(data.subspan(kHeaderBytes));
+  OccupancyModels occupancy;
+  ColorCoder colors;
+
+  struct Frame {
+    std::uint64_t prefix;
+    unsigned level;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty() && cloud.size() < voxel_count) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.level == depth) {
+      const auto coords = geo::morton_decode(frame.prefix);
+      Point p;
+      p.position = {voxel_center(coords.x, bounds.lo.x),
+                    voxel_center(coords.y, bounds.lo.y),
+                    voxel_center(coords.z, bounds.lo.z)};
+      if (has_colors) {
+        const auto c = colors.decode(dec);
+        p.r = c[0];
+        p.g = c[1];
+        p.b = c[2];
+      } else {
+        p.r = p.g = p.b = 128;
+      }
+      cloud.add(p);
+      continue;
+    }
+    std::array<bool, 8> mask{};
+    for (unsigned child = 0; child < 8; ++child)
+      mask[child] = dec.decode_bit(occupancy.at(frame.level, child));
+    for (unsigned child = 8; child-- > 0;) {
+      if (mask[child])
+        stack.push_back({(frame.prefix << 3) | child, frame.level + 1});
+    }
+  }
+  return cloud;
+}
+
+std::size_t octree_voxel_count(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderBytes ||
+      !std::equal(kMagic.begin(), kMagic.end(), data.begin()))
+    throw std::runtime_error("octree codec: bad header");
+  return get_u32(data, 4);
+}
+
+}  // namespace volcast::vv

@@ -1,0 +1,57 @@
+// Point-cloud container: the volumetric video frame representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+
+namespace volcast::vv {
+
+/// One colored point of a volumetric frame.
+struct Point {
+  geo::Vec3 position{};
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  bool operator==(const Point& o) const noexcept = default;
+};
+
+/// A single frame of volumetric video: an unordered set of colored points.
+class PointCloud {
+ public:
+  PointCloud() = default;
+  explicit PointCloud(std::vector<Point> points)
+      : points_(std::move(points)) {}
+
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::vector<Point>& points() noexcept { return points_; }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+  void add(const Point& p) { points_.push_back(p); }
+  void reserve(std::size_t n) { points_.reserve(n); }
+  void clear() noexcept { points_.clear(); }
+
+  /// Tight bounding box of all points (invalid Aabb when empty).
+  [[nodiscard]] geo::Aabb bounds() const noexcept {
+    geo::Aabb box;
+    for (const Point& p : points_) box.expand(p.position);
+    return box;
+  }
+
+  /// Uncompressed wire size in bytes (3 x float32 position + RGB), the
+  /// baseline the codec's compression ratio is measured against.
+  [[nodiscard]] std::size_t raw_size_bytes() const noexcept {
+    return points_.size() * (3 * sizeof(float) + 3);
+  }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace volcast::vv

@@ -1,0 +1,106 @@
+#include "pointcloud/range_coder.h"
+
+namespace volcast::vv {
+
+namespace {
+constexpr std::uint32_t kTopValue = 1u << 24;
+}
+
+void RangeEncoder::shift_low() {
+  if (low_ < 0xff000000ULL || low_ > 0xffffffffULL) {
+    // Carry resolved: flush the cached byte plus any 0xff run.
+    const auto carry = static_cast<std::uint8_t>(low_ >> 32);
+    while (cache_size_ != 0) {
+      output_.push_back(static_cast<std::uint8_t>(cache_ + carry));
+      cache_ = 0xff;
+      --cache_size_;
+    }
+    cache_ = static_cast<std::uint8_t>(low_ >> 24);
+    cache_size_ = 0;
+  }
+  ++cache_size_;
+  low_ = (low_ << 8) & 0xffffffffULL;
+}
+
+void RangeEncoder::encode_bit(BitModel& model, bool bit) {
+  const std::uint32_t bound =
+      (range_ >> BitModel::kBits) * model.prob_zero();
+  if (!bit) {
+    range_ = bound;
+  } else {
+    low_ += bound;
+    range_ -= bound;
+  }
+  model.update(bit);
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    shift_low();
+  }
+}
+
+void RangeEncoder::encode_raw(std::uint64_t value, unsigned count) {
+  for (unsigned i = count; i-- > 0;) {
+    range_ >>= 1;
+    if ((value >> i) & 1u) low_ += range_;
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      shift_low();
+    }
+  }
+}
+
+std::vector<std::uint8_t> RangeEncoder::finish() {
+  for (int i = 0; i < 5; ++i) shift_low();
+  return std::move(output_);
+}
+
+RangeDecoder::RangeDecoder(std::span<const std::uint8_t> data) : data_(data) {
+  ++pos_;  // skip the initial cache byte emitted by the encoder
+  for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+}
+
+std::uint8_t RangeDecoder::next_byte() noexcept {
+  return pos_ < data_.size() ? data_[pos_++] : 0;
+}
+
+bool RangeDecoder::decode_bit(BitModel& model) {
+  const std::uint32_t bound =
+      (range_ >> BitModel::kBits) * model.prob_zero();
+  bool bit;
+  if (code_ < bound) {
+    range_ = bound;
+    bit = false;
+  } else {
+    code_ -= bound;
+    range_ -= bound;
+    bit = true;
+  }
+  model.update(bit);
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    code_ = (code_ << 8) | next_byte();
+  }
+  return bit;
+}
+
+std::uint64_t RangeDecoder::decode_raw(unsigned count) {
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    range_ >>= 1;
+    bool bit;
+    if (code_ < range_) {
+      bit = false;
+    } else {
+      code_ -= range_;
+      bit = true;
+    }
+    value = (value << 1) | static_cast<std::uint64_t>(bit);
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+  }
+  return value;
+}
+
+}  // namespace volcast::vv

@@ -1,0 +1,150 @@
+#include "pointcloud/video_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace volcast::vv {
+
+std::vector<QualityTier> paper_quality_tiers() {
+  return {{"330K", 330'000}, {"430K", 430'000}, {"550K", 550'000}};
+}
+
+namespace {
+
+/// Encodes each occupied cell of `cloud` exactly; returns per-cell byte and
+/// point counts, and appends (points, bytes) pairs for the size model.
+void encode_frame_exact(const PointCloud& cloud, const CellGrid& grid,
+                        const VideoStoreConfig& config,
+                        std::vector<std::uint32_t>& bytes_out,
+                        std::vector<std::uint32_t>& points_out,
+                        std::vector<double>* model_points,
+                        std::vector<double>* model_bytes) {
+  const auto buckets = grid.assign(cloud);
+  bytes_out.assign(grid.cell_count(), 0);
+  points_out.assign(grid.cell_count(), 0);
+  const auto& pts = cloud.points();
+  for (CellId c = 0; c < buckets.size(); ++c) {
+    const auto& indices = buckets[c];
+    if (indices.empty()) continue;
+    PointCloud cell_cloud;
+    cell_cloud.reserve(indices.size());
+    for (std::uint32_t i : indices) cell_cloud.add(pts[i]);
+    const auto blob = config.codec_kind == StoreCodec::kOctree
+                          ? octree_encode(cell_cloud, config.octree)
+                          : encode(cell_cloud, config.codec);
+    bytes_out[c] = static_cast<std::uint32_t>(blob.size());
+    points_out[c] = static_cast<std::uint32_t>(indices.size());
+    if (model_points != nullptr) {
+      model_points->push_back(static_cast<double>(indices.size()));
+      model_bytes->push_back(static_cast<double>(blob.size()));
+    }
+  }
+}
+
+}  // namespace
+
+VideoStore::VideoStore(const VideoGenerator& generator, const CellGrid& grid,
+                       VideoStoreConfig config)
+    : config_(std::move(config)), grid_(&grid), fps_(generator.config().fps) {
+  if (config_.tiers.empty())
+    throw std::invalid_argument("VideoStore: no quality tiers");
+  const std::size_t master_points = generator.config().points_per_frame;
+  for (const QualityTier& tier : config_.tiers) {
+    if (tier.points_per_frame == 0 || tier.points_per_frame > master_points)
+      throw std::invalid_argument(
+          "VideoStore: tier point count must be in (0, generator points]");
+  }
+
+  const std::size_t n_frames = generator.config().frame_count;
+  const std::size_t n_tiers = config_.tiers.size();
+  frames_.resize(n_frames);
+
+  // Per-tier linear size model fitted from exactly encoded sample frames.
+  std::vector<std::vector<double>> model_points(n_tiers);
+  std::vector<std::vector<double>> model_bytes(n_tiers);
+  std::vector<LinearFit> fits(n_tiers);
+  const std::size_t sample_count =
+      config_.exact ? n_frames
+                    : std::min(std::max<std::size_t>(config_.sample_frames, 1),
+                               n_frames);
+
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    const bool exact_frame = config_.exact || f < sample_count;
+    const PointCloud master = generator.frame(f);
+    FrameSizes& sizes = frames_[f];
+    sizes.bytes.resize(n_tiers);
+    sizes.points.resize(n_tiers);
+    for (std::size_t q = 0; q < n_tiers; ++q) {
+      const double fraction =
+          static_cast<double>(config_.tiers[q].points_per_frame) /
+          static_cast<double>(master_points);
+      const PointCloud cloud = thin(master, fraction);
+      if (exact_frame) {
+        encode_frame_exact(cloud, grid, config_, sizes.bytes[q],
+                           sizes.points[q],
+                           config_.exact ? nullptr : &model_points[q],
+                           config_.exact ? nullptr : &model_bytes[q]);
+      } else {
+        // Modeled sizing: occupancy is exact, bytes come from the fit.
+        const auto counts = grid.occupancy(cloud);
+        sizes.points[q].assign(counts.begin(), counts.end());
+        sizes.bytes[q].assign(grid.cell_count(), 0);
+        for (CellId c = 0; c < counts.size(); ++c) {
+          if (counts[c] == 0) continue;
+          const double predicted = fits[q].at(static_cast<double>(counts[c]));
+          const double floor_bytes = static_cast<double>(kCodecHeaderBytes);
+          sizes.bytes[q][c] = static_cast<std::uint32_t>(
+              std::max(predicted, floor_bytes));
+        }
+      }
+    }
+    if (!config_.exact && f + 1 == sample_count) {
+      for (std::size_t q = 0; q < n_tiers; ++q)
+        fits[q] = fit_line(model_points[q], model_bytes[q]);
+    }
+  }
+}
+
+std::size_t VideoStore::cell_bytes(std::size_t frame, std::size_t tier,
+                                   CellId cell) const {
+  return frames_.at(frame).bytes.at(tier).at(cell);
+}
+
+std::uint32_t VideoStore::cell_points(std::size_t frame, std::size_t tier,
+                                      CellId cell) const {
+  return frames_.at(frame).points.at(tier).at(cell);
+}
+
+std::size_t VideoStore::frame_bytes(std::size_t frame,
+                                    std::size_t tier) const {
+  const auto& bytes = frames_.at(frame).bytes.at(tier);
+  std::size_t total = 0;
+  for (std::uint32_t b : bytes) total += b;
+  return total;
+}
+
+double VideoStore::tier_bitrate_mbps(std::size_t tier) const {
+  if (frames_.empty()) return 0.0;
+  double total_bits = 0.0;
+  for (std::size_t f = 0; f < frames_.size(); ++f)
+    total_bits += byte_bits(static_cast<double>(frame_bytes(f, tier)));
+  const double mean_bits_per_frame =
+      total_bits / static_cast<double>(frames_.size());
+  return bits_to_megabits(mean_bits_per_frame * fps_);
+}
+
+double VideoStore::tier_bits_per_point(std::size_t tier) const {
+  double bits = 0.0;
+  double points = 0.0;
+  for (const FrameSizes& f : frames_) {
+    for (std::uint32_t b : f.bytes.at(tier)) bits += byte_bits(b);
+    for (std::uint32_t n : f.points.at(tier)) points += n;
+  }
+  return points > 0.0 ? bits / points : 0.0;
+}
+
+}  // namespace volcast::vv

@@ -1,0 +1,96 @@
+// Content-server view of a volumetric video: for every frame, every cell and
+// every quality tier, the number of points and the encoded size in bytes.
+// This is what the streaming scheduler consumes — it never touches raw
+// points on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pointcloud/cell_grid.h"
+#include "pointcloud/codec.h"
+#include "pointcloud/octree_codec.h"
+#include "pointcloud/video_generator.h"
+
+namespace volcast::vv {
+
+/// One quality tier of the stored video (e.g. the paper's 330K/430K/550K
+/// points-per-frame versions).
+struct QualityTier {
+  std::string name;
+  std::size_t points_per_frame = 0;
+};
+
+/// The paper's three quality tiers.
+[[nodiscard]] std::vector<QualityTier> paper_quality_tiers();
+
+/// Which compression pipeline sizes the stored cells.
+enum class StoreCodec {
+  kMortonDelta,  // codec.h — Draco-role pipeline (default)
+  kOctree,       // octree_codec.h — GROOT/G-PCC-role pipeline
+};
+
+/// Store construction options.
+struct VideoStoreConfig {
+  std::vector<QualityTier> tiers = paper_quality_tiers();
+  StoreCodec codec_kind = StoreCodec::kMortonDelta;
+  CodecConfig codec{};
+  OctreeCodecConfig octree{};
+  /// When true every cell of every frame is range-coded exactly (slow; for
+  /// tests and the codec bench). When false, `sample_frames` frames are
+  /// encoded exactly and a linear bytes-vs-points model fitted from them
+  /// sizes the remaining frames (fast; for system benches).
+  bool exact = false;
+  std::size_t sample_frames = 2;
+};
+
+/// Precomputed per-frame/per-tier/per-cell sizes of a generated video.
+class VideoStore {
+ public:
+  /// Builds the store by generating (and thinning, and encoding) frames.
+  /// Throws std::invalid_argument for an empty tier list or tiers exceeding
+  /// the generator's points_per_frame.
+  VideoStore(const VideoGenerator& generator, const CellGrid& grid,
+             VideoStoreConfig config = {});
+
+  [[nodiscard]] const CellGrid& grid() const noexcept { return *grid_; }
+  [[nodiscard]] std::size_t frame_count() const noexcept {
+    return frames_.size();
+  }
+  [[nodiscard]] std::size_t tier_count() const noexcept {
+    return config_.tiers.size();
+  }
+  [[nodiscard]] const std::vector<QualityTier>& tiers() const noexcept {
+    return config_.tiers;
+  }
+  [[nodiscard]] double fps() const noexcept { return fps_; }
+
+  /// Encoded bytes of one cell (0 for empty cells).
+  [[nodiscard]] std::size_t cell_bytes(std::size_t frame, std::size_t tier,
+                                       CellId cell) const;
+  /// Point count of one cell.
+  [[nodiscard]] std::uint32_t cell_points(std::size_t frame, std::size_t tier,
+                                          CellId cell) const;
+  /// Total encoded bytes of a frame at a tier.
+  [[nodiscard]] std::size_t frame_bytes(std::size_t frame,
+                                        std::size_t tier) const;
+  /// Mean stream bitrate of a tier in Mbps at the video frame rate.
+  [[nodiscard]] double tier_bitrate_mbps(std::size_t tier) const;
+  /// Mean encoded bits per point at a tier (codec efficiency metric).
+  [[nodiscard]] double tier_bits_per_point(std::size_t tier) const;
+
+ private:
+  struct FrameSizes {
+    // [tier][cell]
+    std::vector<std::vector<std::uint32_t>> bytes;
+    std::vector<std::vector<std::uint32_t>> points;
+  };
+
+  VideoStoreConfig config_;
+  const CellGrid* grid_;
+  double fps_ = 30.0;
+  std::vector<FrameSizes> frames_;
+};
+
+}  // namespace volcast::vv

@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace volcast::sim {
+
+void EventQueue::schedule_at(SimTime at, Handler handler) {
+  if (at < now_)
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  events_.push(Event{at, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Handler handler) {
+  if (delay < 0.0)
+    throw std::invalid_argument("EventQueue: negative delay");
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+void EventQueue::pop_and_run() {
+  // Copy out before pop: the handler may schedule new events.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.at;
+  event.handler();
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!events_.empty() && executed < max_events) {
+    pop_and_run();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.top().at <= until) {
+    pop_and_run();
+    ++executed;
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+}  // namespace volcast::sim

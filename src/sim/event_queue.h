@@ -1,0 +1,62 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks with a
+// monotonic simulated clock. Deliberately minimal — deterministic ordering
+// (FIFO among same-time events) is the one property every experiment
+// depends on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace volcast::sim {
+
+/// Simulated seconds.
+using SimTime = double;
+
+/// Deterministic discrete-event executor.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `at` (must be >= now()).
+  /// Throws std::invalid_argument for events in the past.
+  void schedule_at(SimTime at, Handler handler);
+
+  /// Schedules `handler` `delay` seconds from now (delay >= 0).
+  void schedule_in(SimTime delay, Handler handler);
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+
+  /// Runs events until the queue drains or `max_events` fire.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with time <= `until`, then advances the clock to `until`.
+  std::size_t run_until(SimTime until);
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+
+  void pop_and_run();
+};
+
+}  // namespace volcast::sim

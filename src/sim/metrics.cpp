@@ -1,0 +1,72 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace volcast::sim {
+
+double SessionQoe::mean_fps() const noexcept {
+  if (users.empty()) return 0.0;
+  double sum = 0.0;
+  for (const UserQoe& u : users) sum += u.displayed_fps;
+  return sum / static_cast<double>(users.size());
+}
+
+double SessionQoe::min_fps() const noexcept {
+  double lowest = std::numeric_limits<double>::infinity();
+  for (const UserQoe& u : users) lowest = std::min(lowest, u.displayed_fps);
+  return users.empty() ? 0.0 : lowest;
+}
+
+double SessionQoe::total_stall_s() const noexcept {
+  double sum = 0.0;
+  for (const UserQoe& u : users) sum += u.stall_time_s;
+  return sum;
+}
+
+double SessionQoe::mean_quality_tier() const noexcept {
+  if (users.empty()) return 0.0;
+  double sum = 0.0;
+  for (const UserQoe& u : users) sum += u.mean_quality_tier;
+  return sum / static_cast<double>(users.size());
+}
+
+double SessionQoe::aggregate_goodput_mbps() const noexcept {
+  double sum = 0.0;
+  for (const UserQoe& u : users) sum += u.mean_goodput_mbps;
+  return sum;
+}
+
+double SessionQoe::fraction_at_fps(double threshold) const noexcept {
+  if (users.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (const UserQoe& u : users)
+    if (u.displayed_fps >= threshold) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(users.size());
+}
+
+double SessionQoe::fairness_index() const noexcept {
+  if (users.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const UserQoe& u : users) {
+    sum += u.mean_goodput_mbps;
+    sum_sq += u.mean_goodput_mbps * u.mean_goodput_mbps;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(users.size()) * sum_sq);
+}
+
+std::string SessionQoe::summary() const {
+  std::ostringstream out;
+  out << "session " << duration_s << " s, " << users.size() << " users\n";
+  for (const UserQoe& u : users) {
+    out << "  user " << u.user << ": " << u.displayed_fps << " fps, stall "
+        << u.stall_time_s << " s, tier " << u.mean_quality_tier
+        << ", goodput " << u.mean_goodput_mbps << " Mbps\n";
+  }
+  return out.str();
+}
+
+}  // namespace volcast::sim

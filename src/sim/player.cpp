@@ -1,0 +1,58 @@
+#include "sim/player.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace volcast::sim {
+
+Player::Player(double fps, double decode_cap_fps, std::size_t startup_frames)
+    : fps_(fps),
+      decode_cap_fps_(decode_cap_fps),
+      startup_frames_(std::max<std::size_t>(startup_frames, 1)) {
+  if (fps <= 0.0 || decode_cap_fps <= 0.0)
+    throw std::invalid_argument("Player: rates must be positive");
+}
+
+void Player::deliver(const BufferedFrame& frame) {
+  buffer_.push_back(frame);
+  if (!playing_ && buffer_.size() >= startup_frames_) playing_ = true;
+}
+
+double Player::buffer_s() const noexcept {
+  return static_cast<double>(buffer_.size()) / fps_;
+}
+
+double Player::mean_played_tier() const noexcept {
+  return tier_count_ > 0 ? tier_sum_ / static_cast<double>(tier_count_) : 0.0;
+}
+
+void Player::advance(double dt) {
+  if (dt <= 0.0) return;
+  if (!playing_) {
+    stall_s_ += dt;
+    return;
+  }
+  const double rate = std::min(fps_, decode_cap_fps_);
+  playhead_accum_ += dt * rate;
+  while (playhead_accum_ >= 1.0) {
+    if (buffer_.empty()) {
+      // Underrun: remaining owed frames become stall time; playback pauses
+      // until the startup threshold refills.
+      stall_s_ += playhead_accum_ / rate;
+      playhead_accum_ = 0.0;
+      playing_ = false;
+      return;
+    }
+    const BufferedFrame frame = buffer_.front();
+    buffer_.pop_front();
+    playhead_accum_ -= 1.0;
+    played_ += 1.0;
+    tier_sum_ += static_cast<double>(frame.quality_tier);
+    ++tier_count_;
+    if (has_last_tier_ && frame.quality_tier != last_tier_) ++switches_;
+    has_last_tier_ = true;
+    last_tier_ = frame.quality_tier;
+  }
+}
+
+}  // namespace volcast::sim

@@ -1,0 +1,67 @@
+// Client-side video player: a frame buffer drained at the display rate,
+// with stall accounting and a decode-rate ceiling. This is the application
+// layer whose buffer level feeds the paper's cross-layer bandwidth
+// predictor (Section 4.3 cites buffer-based rate adaptation).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace volcast::sim {
+
+/// One downloaded frame sitting in the player buffer.
+struct BufferedFrame {
+  std::size_t frame_index = 0;
+  std::size_t quality_tier = 0;
+  double bits = 0.0;
+};
+
+/// Playout buffer + display clock for one client.
+class Player {
+ public:
+  /// `fps` display rate; `decode_cap_fps` the hardware decode ceiling;
+  /// `startup_frames` buffered before playback starts (and re-starts after
+  /// a stall).
+  Player(double fps, double decode_cap_fps = 30.0,
+         std::size_t startup_frames = 2);
+
+  /// Enqueues a completed download.
+  void deliver(const BufferedFrame& frame);
+
+  /// Advances playback by `dt` seconds: consumes buffered frames at the
+  /// effective rate, accumulates stall time when the buffer underruns.
+  void advance(double dt);
+
+  [[nodiscard]] std::size_t buffered_frames() const noexcept {
+    return buffer_.size();
+  }
+  /// Buffer depth in seconds at the display rate.
+  [[nodiscard]] double buffer_s() const noexcept;
+
+  [[nodiscard]] double played_frames() const noexcept { return played_; }
+  [[nodiscard]] double stall_time_s() const noexcept { return stall_s_; }
+  [[nodiscard]] bool playing() const noexcept { return playing_; }
+  /// Mean quality tier of played frames (0 when nothing played).
+  [[nodiscard]] double mean_played_tier() const noexcept;
+  /// Number of tier changes between consecutive played frames.
+  [[nodiscard]] std::size_t quality_switches() const noexcept {
+    return switches_;
+  }
+
+ private:
+  double fps_;
+  double decode_cap_fps_;
+  std::size_t startup_frames_;
+  std::deque<BufferedFrame> buffer_;
+  double playhead_accum_ = 0.0;  // fractional frames owed to the display
+  double played_ = 0.0;
+  double stall_s_ = 0.0;
+  bool playing_ = false;
+  double tier_sum_ = 0.0;
+  std::size_t tier_count_ = 0;
+  std::size_t switches_ = 0;
+  bool has_last_tier_ = false;
+  std::size_t last_tier_ = 0;
+};
+
+}  // namespace volcast::sim

@@ -1,0 +1,154 @@
+#include "trace/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace volcast::trace {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// One Euler-Maruyama step of an Ornstein-Uhlenbeck process.
+double ou_step(double x, double mean, double rate, double sigma, double dt,
+               Rng& rng) {
+  return x + rate * (mean - x) * dt + sigma * std::sqrt(dt) * rng.normal();
+}
+}  // namespace
+
+const char* to_string(DeviceType device) noexcept {
+  switch (device) {
+    case DeviceType::kSmartphone:
+      return "PH";
+    case DeviceType::kHeadset:
+      return "HM";
+  }
+  return "??";
+}
+
+MobilityParams MobilityParams::for_device(DeviceType device, Rng& rng,
+                                          const geo::Vec3& content_center,
+                                          double home_angle_rad) {
+  MobilityParams p;
+  p.device = device;
+  p.attractor = content_center;
+  p.home_angle_rad = home_angle_rad;
+  if (device == DeviceType::kSmartphone) {
+    // Phone viewers hold the device and mostly stand still.
+    p.ring_radius_m = rng.uniform(1.6, 2.2);
+    p.radial_sigma = 0.10;
+    p.radial_rate = 0.8;
+    p.angular_sigma = 0.20;
+    p.angular_rate = 0.25;
+    p.eye_height_m = rng.uniform(1.35, 1.5);  // chest-held device
+    p.height_sigma = 0.015;
+    p.gaze_sigma_m = 0.42;
+    p.gaze_rate = 1.0;
+    p.look_away_per_s = 0.0;
+  } else {
+    // Headset viewers roam and glance around.
+    p.ring_radius_m = rng.uniform(1.2, 2.8);
+    p.radial_sigma = 0.20;
+    p.radial_rate = 0.35;
+    p.angular_sigma = 0.15;
+    p.angular_rate = 0.08;
+    p.eye_height_m = rng.uniform(1.5, 1.8);
+    p.height_sigma = 0.04;
+    p.gaze_sigma_m = 0.70;
+    p.gaze_rate = 0.8;
+    p.look_away_per_s = 0.05;
+  }
+  return p;
+}
+
+MobilityModel::MobilityModel(const MobilityParams& params, std::uint64_t seed)
+    : params_(params),
+      rng_(seed),
+      angle_(params.home_angle_rad),
+      radius_(params.ring_radius_m),
+      height_(params.eye_height_m) {
+  refresh_pose();
+}
+
+geo::Pose MobilityModel::step(double dt) {
+  if (dt <= 0.0) return pose_;
+  // Second-order angular dynamics: velocity relaxes toward the home-angle
+  // spring, so consecutive steps share momentum (predictable motion).
+  const double target_velocity =
+      params_.angular_rate * (params_.home_angle_rad - angle_);
+  angular_velocity_ = ou_step(angular_velocity_, target_velocity, 1.2,
+                              params_.angular_sigma, dt, rng_);
+  angle_ += angular_velocity_ * dt;
+  const double radial_spring =
+      params_.radial_rate * (params_.ring_radius_m - radius_);
+  radial_velocity_ =
+      ou_step(radial_velocity_, radial_spring, 1.5, params_.radial_sigma, dt,
+              rng_);
+  radius_ += radial_velocity_ * dt;
+  if (radius_ < 0.6) {  // never walk inside the content
+    radius_ = 0.6;
+    radial_velocity_ = std::max(radial_velocity_, 0.0);
+  }
+  height_ = ou_step(height_, params_.eye_height_m, 1.0, params_.height_sigma,
+                    dt, rng_);
+  for (int axis = 0; axis < 3; ++axis) {
+    double* g = axis == 0 ? &gaze_offset_.x
+                          : (axis == 1 ? &gaze_offset_.y : &gaze_offset_.z);
+    double* v = axis == 0 ? &gaze_velocity_.x
+                          : (axis == 1 ? &gaze_velocity_.y : &gaze_velocity_.z);
+    const double spring_v = -params_.gaze_rate * *g;
+    *v = ou_step(*v, spring_v, 2.0, params_.gaze_sigma_m, dt, rng_);
+    *g += *v * dt;
+  }
+
+  // Brief look-away glances (headset users): gaze leaves the content for a
+  // few hundred milliseconds, which breaks viewport overlap exactly the way
+  // headset freedom does in the paper's study.
+  if (look_away_remaining_s_ > 0.0) {
+    look_away_remaining_s_ -= dt;
+  } else if (params_.look_away_per_s > 0.0 &&
+             rng_.chance(1.0 - std::exp(-params_.look_away_per_s * dt))) {
+    look_away_remaining_s_ = rng_.uniform(0.3, 1.0);
+    const double yaw = rng_.uniform(0.0, kTwoPi);
+    look_away_dir_ = {std::cos(yaw), std::sin(yaw), rng_.uniform(-0.2, 0.4)};
+  }
+
+  refresh_pose();
+  return pose_;
+}
+
+void MobilityModel::refresh_pose() {
+  const geo::Vec3 center = params_.attractor;
+  const geo::Vec3 position{center.x + radius_ * std::cos(angle_),
+                           center.y + radius_ * std::sin(angle_), height_};
+  geo::Vec3 target = center + gaze_offset_;
+  if (look_away_remaining_s_ > 0.0)
+    target = position + look_away_dir_ * 3.0;
+  const geo::Pose ideal = geo::Pose::look_at(position, target);
+  // Head rotation has inertia: blend toward the ideal look-at orientation
+  // with a ~100 ms time constant instead of snapping (real heads cannot
+  // snap; this also makes short-horizon orientation predictable).
+  geo::Quat orientation = ideal.orientation;
+  if (has_orientation_) {
+    orientation = slerp(pose_.orientation, ideal.orientation, 0.28);
+  }
+  has_orientation_ = true;
+  pose_ = {position, orientation.normalized()};
+}
+
+Trace generate_trace(const MobilityParams& params, std::uint64_t seed,
+                     std::size_t samples, double rate_hz) {
+  MobilityModel model(params, seed);
+  Trace trace;
+  trace.device = params.device;
+  trace.sample_rate_hz = rate_hz;
+  trace.poses.reserve(samples);
+  const double dt = 1.0 / rate_hz;
+  for (std::size_t i = 0; i < samples; ++i) {
+    trace.poses.push_back(model.pose());
+    model.step(dt);
+  }
+  return trace;
+}
+
+}  // namespace volcast::trace

@@ -1,0 +1,115 @@
+// Stochastic 6DoF viewer mobility.
+//
+// Stands in for the paper's IRB user study (32 participants, 30 Hz 6DoF
+// trajectories, one smartphone group "PH" and one Magic Leap headset group
+// "HM"). The model is an Ornstein-Uhlenbeck random walk on a viewing ring
+// around the content, with gaze directed at a jittered look-at target:
+//   * PH (smartphone) users hold a device at chest height and move little —
+//     small radial/angular diffusion, tight gaze;
+//   * HM (headset) users walk freely — larger diffusion, wider gaze noise
+//     and occasional look-away glances.
+// These differences reproduce the paper's Fig. 2b ordering (PH pairs overlap
+// more than HM pairs; triples overlap less than pairs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/pose.h"
+
+namespace volcast::trace {
+
+/// Viewer hardware class from the paper's user study.
+enum class DeviceType {
+  kSmartphone,  // "PH" group
+  kHeadset,     // "HM" group
+};
+
+[[nodiscard]] const char* to_string(DeviceType device) noexcept;
+
+/// Tunable parameters of the mobility process. `for_device` draws a
+/// plausible per-user parameter set for the given hardware class.
+struct MobilityParams {
+  DeviceType device = DeviceType::kHeadset;
+  geo::Vec3 attractor{0, 0, 1.1};  // content the user watches
+
+  double ring_radius_m = 2.0;   // preferred viewing distance (mean)
+  double radial_sigma = 0.3;    // OU diffusion of the distance
+  double radial_rate = 0.5;     // OU mean reversion of the distance
+  /// Angular motion is a second-order process: angular *velocity* follows
+  /// an OU process pulled toward a spring on the home angle, so positions
+  /// have persistent velocity (smooth, predictable short-horizon motion,
+  /// as real 6DoF traces do).
+  double angular_sigma = 0.25;  // velocity diffusion (rad/s per sqrt(s))
+  double angular_rate = 0.15;   // spring toward the user's home angle
+  double home_angle_rad = 0.0;  // where on the ring the user tends to stand
+  double eye_height_m = 1.6;
+  double height_sigma = 0.03;
+  /// Gaze is also second-order: the look-at offset's *velocity* diffuses
+  /// and a spring pulls the offset back to the content center, so head
+  /// rotation has momentum (as real headset traces show).
+  double gaze_sigma_m = 0.15;   // gaze velocity diffusion (m/s per sqrt(s))
+  double gaze_rate = 1.5;       // spring pulling the offset back to center
+  double look_away_per_s = 0.0;  // Poisson rate of brief look-away glances
+
+  /// Draws per-user parameters for a device class. The caller supplies the
+  /// user's home angle so a study can spread users around the content.
+  [[nodiscard]] static MobilityParams for_device(DeviceType device, Rng& rng,
+                                                 const geo::Vec3& content_center,
+                                                 double home_angle_rad);
+};
+
+/// Continuous-state mobility process; `step(dt)` advances the state and
+/// returns the viewer pose. Deterministic for a given (params, seed).
+class MobilityModel {
+ public:
+  MobilityModel(const MobilityParams& params, std::uint64_t seed);
+
+  /// Advances the walk by `dt` seconds and returns the new 6DoF pose.
+  geo::Pose step(double dt);
+
+  /// Current pose without advancing.
+  [[nodiscard]] const geo::Pose& pose() const noexcept { return pose_; }
+
+  [[nodiscard]] const MobilityParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  MobilityParams params_;
+  Rng rng_;
+  double angle_;
+  double angular_velocity_ = 0.0;
+  double radius_;
+  double radial_velocity_ = 0.0;
+  double height_;
+  bool has_orientation_ = false;
+  geo::Vec3 gaze_offset_{};
+  geo::Vec3 gaze_velocity_{};
+  double look_away_remaining_s_ = 0.0;
+  geo::Vec3 look_away_dir_{1, 0, 0};
+  geo::Pose pose_{};
+
+  void refresh_pose();
+};
+
+/// A recorded 6DoF trajectory sampled at a fixed rate.
+struct Trace {
+  DeviceType device = DeviceType::kHeadset;
+  double sample_rate_hz = 30.0;
+  std::vector<geo::Pose> poses;
+
+  [[nodiscard]] std::size_t size() const noexcept { return poses.size(); }
+  [[nodiscard]] double duration_s() const noexcept {
+    return poses.empty() ? 0.0
+                         : static_cast<double>(poses.size()) / sample_rate_hz;
+  }
+};
+
+/// Samples `samples` poses at `rate_hz` from a fresh MobilityModel.
+[[nodiscard]] Trace generate_trace(const MobilityParams& params,
+                                   std::uint64_t seed, std::size_t samples,
+                                   double rate_hz = 30.0);
+
+}  // namespace volcast::trace

@@ -1,0 +1,74 @@
+#include "trace/trace_io.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace volcast::trace {
+
+namespace {
+constexpr const char* kMagic = "VCTRACE";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << kMagic << ' ' << kVersion << ' ' << to_string(trace.device) << ' '
+      << trace.sample_rate_hz << ' ' << trace.poses.size() << '\n';
+  out << std::setprecision(17);
+  for (const geo::Pose& p : trace.poses) {
+    out << p.position.x << ' ' << p.position.y << ' ' << p.position.z << ' '
+        << p.orientation.w << ' ' << p.orientation.x << ' ' << p.orientation.y
+        << ' ' << p.orientation.z << '\n';
+  }
+  if (!out) throw std::runtime_error("trace_io: write failed");
+}
+
+Trace read_trace(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  std::string device;
+  Trace trace;
+  std::size_t count = 0;
+  if (!(in >> magic >> version >> device >> trace.sample_rate_hz >> count))
+    throw std::runtime_error("trace_io: malformed header");
+  if (magic != kMagic || version != kVersion)
+    throw std::runtime_error("trace_io: bad magic or version");
+  if (device == "PH") {
+    trace.device = DeviceType::kSmartphone;
+  } else if (device == "HM") {
+    trace.device = DeviceType::kHeadset;
+  } else {
+    throw std::runtime_error("trace_io: unknown device type '" + device + "'");
+  }
+  if (trace.sample_rate_hz <= 0.0)
+    throw std::runtime_error("trace_io: non-positive sample rate");
+  // A pose line is >= 14 characters; a count far beyond any plausible
+  // remaining input is a corrupt header. (Streams do not always expose
+  // their size, so bound by an absolute cap: 30 Hz for 24 h.)
+  if (count > 30u * 60u * 60u * 24u)
+    throw std::runtime_error("trace_io: implausible sample count");
+  trace.poses.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    geo::Pose p;
+    if (!(in >> p.position.x >> p.position.y >> p.position.z >>
+          p.orientation.w >> p.orientation.x >> p.orientation.y >>
+          p.orientation.z))
+      throw std::runtime_error("trace_io: truncated pose data");
+    trace.poses.push_back(p);
+  }
+  return trace;
+}
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream out;
+  write_trace(out, trace);
+  return out.str();
+}
+
+Trace trace_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_trace(in);
+}
+
+}  // namespace volcast::trace

@@ -1,0 +1,28 @@
+// Plain-text serialization for 6DoF traces, so experiments can persist and
+// share trajectories (and users can substitute real captures for the
+// synthetic study).
+//
+// Format (one trace per stream):
+//   VCTRACE 1 <PH|HM> <rate_hz> <count>
+//   px py pz qw qx qy qz      (count lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/mobility.h"
+
+namespace volcast::trace {
+
+/// Writes a trace. Throws std::runtime_error on stream failure.
+void write_trace(std::ostream& out, const Trace& trace);
+
+/// Reads a trace written by write_trace. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] Trace read_trace(std::istream& in);
+
+/// Convenience: round-trips via a string.
+[[nodiscard]] std::string trace_to_string(const Trace& trace);
+[[nodiscard]] Trace trace_from_string(const std::string& text);
+
+}  // namespace volcast::trace

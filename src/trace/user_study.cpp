@@ -1,0 +1,37 @@
+#include "trace/user_study.h"
+
+namespace volcast::trace {
+
+UserStudy::UserStudy(UserStudyConfig config) : config_(config) {
+  Rng rng(config_.seed);
+  const std::size_t total = config_.smartphone_users + config_.headset_users;
+  traces_.reserve(total);
+  for (std::size_t u = 0; u < total; ++u) {
+    const DeviceType device = u < config_.smartphone_users
+                                  ? DeviceType::kSmartphone
+                                  : DeviceType::kHeadset;
+    // Spread home angles across the configured arc, with per-user jitter so
+    // groups are not perfectly regular.
+    const double frac =
+        total > 1 ? static_cast<double>(u) / static_cast<double>(total - 1)
+                  : 0.5;
+    const double home_angle = config_.arc_center_rad +
+                              (frac - 0.5) * config_.spread_rad +
+                              rng.uniform(-0.1, 0.1);
+    Rng param_rng = rng.fork();
+    const MobilityParams params = MobilityParams::for_device(
+        device, param_rng, config_.content_center, home_angle);
+    traces_.push_back(generate_trace(params, rng.next_u64(),
+                                     config_.samples_per_user,
+                                     config_.sample_rate_hz));
+  }
+}
+
+std::vector<std::size_t> UserStudy::users_of(DeviceType device) const {
+  std::vector<std::size_t> out;
+  for (std::size_t u = 0; u < traces_.size(); ++u)
+    if (traces_[u].device == device) out.push_back(u);
+  return out;
+}
+
+}  // namespace volcast::trace

@@ -1,0 +1,63 @@
+// Synthetic replica of the paper's 32-participant viewing study: 6DoF
+// trajectories for every user, sampled at 30 Hz, split into a smartphone
+// ("PH") group and a headset ("HM") group.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/mobility.h"
+
+namespace volcast::trace {
+
+/// Study composition. Defaults mirror the paper: 32 participants in two
+/// device groups watching the same ~10 s volumetric clip (300 frames at
+/// 30 Hz, the x-range of the paper's Fig. 2a).
+struct UserStudyConfig {
+  std::size_t smartphone_users = 16;
+  std::size_t headset_users = 16;
+  std::size_t samples_per_user = 300;
+  double sample_rate_hz = 30.0;
+  geo::Vec3 content_center{0, 0, 1.1};
+  std::uint64_t seed = 42;
+  /// Angular spread of users around the content (radians). Users cluster in
+  /// front of the content rather than surrounding it uniformly, as viewers
+  /// naturally face a performer.
+  double spread_rad = 1.8;
+  /// Center of the audience arc. The default (+pi/2) puts the audience on
+  /// the far side of the content from the testbed's front-wall AP, so the
+  /// whole arc sits inside the AP's sector range at a moderate distance —
+  /// the deployment a real testbed would choose.
+  double arc_center_rad = 1.5707963267948966;
+};
+
+/// Generates and owns one trace per participant.
+class UserStudy {
+ public:
+  explicit UserStudy(UserStudyConfig config = {});
+
+  [[nodiscard]] const UserStudyConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t user_count() const noexcept {
+    return traces_.size();
+  }
+  [[nodiscard]] const std::vector<Trace>& traces() const noexcept {
+    return traces_;
+  }
+  [[nodiscard]] const Trace& trace(std::size_t user) const {
+    return traces_.at(user);
+  }
+  [[nodiscard]] DeviceType device_of(std::size_t user) const {
+    return traces_.at(user).device;
+  }
+
+  /// Indices of all users of a device class, in ascending order.
+  [[nodiscard]] std::vector<std::size_t> users_of(DeviceType device) const;
+
+ private:
+  UserStudyConfig config_;
+  std::vector<Trace> traces_;
+};
+
+}  // namespace volcast::trace

@@ -1,0 +1,165 @@
+// Single-user 6DoF viewport prediction (paper Section 4.1).
+//
+// The paper cites ViVo-style linear regression / MLP predictors as the
+// per-user state of the art; we implement the family the multi-user
+// predictor composes:
+//   * Static            — last observed pose (the lower baseline),
+//   * ConstantVelocity  — extrapolates the last inter-sample motion,
+//   * LinearRegression  — OLS over a sliding window, on position and on the
+//                         look-at target (robust to orientation wrap),
+//   * Ewma              — exponentially weighted velocity extrapolation,
+//   * Mlp               — small online-trained multilayer perceptron.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ring_buffer.h"
+#include "geometry/pose.h"
+
+namespace volcast::view {
+
+/// Streaming pose predictor: feed observations, query a future pose.
+class ViewportPredictor {
+ public:
+  virtual ~ViewportPredictor() = default;
+
+  /// Records one observed pose at time `t` (seconds, strictly increasing).
+  virtual void observe(double t, const geo::Pose& pose) = 0;
+
+  /// Predicts the pose `horizon_s` after the last observation. Requires at
+  /// least one observation; predictors degrade gracefully (toward the last
+  /// pose) when history is short.
+  [[nodiscard]] virtual geo::Pose predict(double horizon_s) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Last-value predictor.
+class StaticPredictor final : public ViewportPredictor {
+ public:
+  void observe(double t, const geo::Pose& pose) override;
+  [[nodiscard]] geo::Pose predict(double horizon_s) const override;
+  [[nodiscard]] std::string name() const override { return "static"; }
+
+ private:
+  geo::Pose last_{};
+  bool has_observation_ = false;
+};
+
+/// Extrapolates the last observed velocity (translation + rotation).
+class ConstantVelocityPredictor final : public ViewportPredictor {
+ public:
+  void observe(double t, const geo::Pose& pose) override;
+  [[nodiscard]] geo::Pose predict(double horizon_s) const override;
+  [[nodiscard]] std::string name() const override { return "const-velocity"; }
+
+ private:
+  geo::Pose prev_{};
+  geo::Pose last_{};
+  double last_t_ = 0.0;
+  double dt_ = 0.0;
+  int observations_ = 0;
+};
+
+/// OLS over a sliding window of positions and look-at targets.
+class LinearRegressionPredictor final : public ViewportPredictor {
+ public:
+  /// `window` = number of samples regressed over; ViVo-style predictors use
+  /// a fraction of a second of 30 Hz history, so 9 samples (0.3 s) is the
+  /// default — long enough to average jitter, short enough to track turns.
+  /// `target_distance_m` places the virtual look-at point.
+  explicit LinearRegressionPredictor(std::size_t window = 9,
+                                     double target_distance_m = 2.0);
+
+  void observe(double t, const geo::Pose& pose) override;
+  [[nodiscard]] geo::Pose predict(double horizon_s) const override;
+  [[nodiscard]] std::string name() const override { return "linear-regression"; }
+
+ private:
+  struct Sample {
+    double t;
+    geo::Vec3 position;
+    geo::Vec3 target;
+    geo::Pose pose;
+  };
+  RingBuffer<Sample> window_;
+  double target_distance_m_;
+};
+
+/// EWMA of velocity, extrapolated linearly.
+class EwmaPredictor final : public ViewportPredictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.3);
+
+  void observe(double t, const geo::Pose& pose) override;
+  [[nodiscard]] geo::Pose predict(double horizon_s) const override;
+  [[nodiscard]] std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  geo::Pose last_{};
+  geo::Vec3 velocity_{};
+  geo::Vec3 target_velocity_{};
+  geo::Vec3 last_target_{};
+  double last_t_ = 0.0;
+  int observations_ = 0;
+};
+
+/// Online multilayer perceptron, the paper's second predictor family
+/// ("individual users' 6DoF can be predicted using linear regression or
+/// multilayer perceptron"). A small tanh network maps a window of recent
+/// position / look-at velocities to the next-step velocity and trains by
+/// one SGD step per observation; until warmed up it behaves like the
+/// constant-velocity baseline.
+class MlpPredictor final : public ViewportPredictor {
+ public:
+  /// `history` = velocity samples fed to the network; `hidden` = hidden
+  /// units; `learning_rate` = SGD step. Deterministic for a given seed.
+  explicit MlpPredictor(std::size_t history = 5, std::size_t hidden = 12,
+                        double learning_rate = 0.05,
+                        std::uint64_t seed = 7);
+
+  void observe(double t, const geo::Pose& pose) override;
+  [[nodiscard]] geo::Pose predict(double horizon_s) const override;
+  [[nodiscard]] std::string name() const override { return "mlp"; }
+
+  /// Number of SGD updates performed so far (diagnostic).
+  [[nodiscard]] std::size_t training_steps() const noexcept {
+    return training_steps_;
+  }
+
+ private:
+  struct Sample {
+    geo::Vec3 position;
+    geo::Vec3 target;
+    double t;
+  };
+
+  [[nodiscard]] std::vector<double> features() const;
+  /// Returns {predicted position velocity, predicted target velocity}.
+  [[nodiscard]] std::array<geo::Vec3, 2> forward(
+      const std::vector<double>& input) const;
+  void train_step(const std::vector<double>& input, const geo::Vec3& v_pos,
+                  const geo::Vec3& v_target);
+
+  std::size_t history_;
+  std::size_t hidden_;
+  double learning_rate_;
+  RingBuffer<Sample> window_;
+  std::vector<double> w1_;  // hidden x input
+  std::vector<double> b1_;  // hidden
+  std::vector<double> w2_;  // 6 x hidden
+  std::vector<double> b2_;  // 6
+  std::size_t training_steps_ = 0;
+};
+
+/// Factory by name ("static", "const-velocity", "linear-regression",
+/// "ewma", "mlp"); throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<ViewportPredictor> make_predictor(
+    const std::string& name);
+
+}  // namespace volcast::view

@@ -1,0 +1,140 @@
+#include "viewport/visibility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace volcast::view {
+
+geo::CameraIntrinsics device_intrinsics(trace::DeviceType device) noexcept {
+  geo::CameraIntrinsics intr;
+  if (device == trace::DeviceType::kSmartphone) {
+    intr.horizontal_fov_rad = 1.0471975511965976;  // 60 degrees
+    intr.aspect = 0.75;
+  } else {
+    intr.horizontal_fov_rad = 0.7853981633974483;  // 45 degrees
+    intr.aspect = 0.75;
+  }
+  return intr;
+}
+
+std::size_t VisibilityMap::visible_count() const noexcept {
+  std::size_t n = 0;
+  for (float l : lod_)
+    if (l > 0.0f) ++n;
+  return n;
+}
+
+std::vector<vv::CellId> VisibilityMap::visible_cells() const {
+  std::vector<vv::CellId> out;
+  for (vv::CellId c = 0; c < lod_.size(); ++c)
+    if (lod_[c] > 0.0f) out.push_back(c);
+  return out;
+}
+
+namespace {
+
+/// True when a sight ray from `eye` to `target_center` is blocked by opaque
+/// cells (dense cells clearly in front of the target).
+bool ray_occluded(const vv::CellGrid& grid,
+                  std::span<const std::uint32_t> occupancy,
+                  const geo::Vec3& eye, const geo::Vec3& target_center,
+                  vv::CellId target, double opaque_threshold,
+                  double occluder_thickness_cells) {
+  const geo::Vec3 delta = target_center - eye;
+  const double dist = delta.norm();
+  if (dist < 1e-9) return false;
+  const geo::Vec3 dir = delta / dist;
+  // Sample the ray at quarter-cell steps, skipping a guard band at both
+  // ends, and accumulate the opaque path length the ray crosses: enough
+  // dense surface in front hides the target, regardless of how much empty
+  // air the ray also traverses.
+  const double step = grid.cell_size_m() * 0.25;
+  const double start = grid.cell_size_m() * 0.5;         // leave the eye
+  const double stop = dist - grid.cell_size_m() * 0.75;  // stop before target
+  if (stop <= start) return false;
+  const double needed = occluder_thickness_cells * grid.cell_size_m();
+  double opaque_length = 0.0;
+  for (double s = start; s < stop; s += step) {
+    const geo::Vec3 p = eye + dir * s;
+    if (!grid.bounds().contains(p)) continue;
+    const vv::CellId c = grid.locate(p);
+    if (c == target) continue;
+    if (static_cast<double>(occupancy[c]) >= opaque_threshold) {
+      opaque_length += step;
+      if (opaque_length >= needed) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+VisibilityMap compute_visibility(const vv::CellGrid& grid,
+                                 std::span<const std::uint32_t> occupancy,
+                                 const geo::Pose& pose,
+                                 const VisibilityOptions& options,
+                                 std::span<const BodyObstacle> others) {
+  VisibilityMap map(grid.cell_count());
+  if (occupancy.size() != grid.cell_count()) return map;
+
+  // Opacity threshold for self-occlusion: relative to the mean occupied
+  // cell so it adapts across quality tiers and cell sizes.
+  double mean_occupied = 0.0;
+  std::size_t occupied = 0;
+  for (std::uint32_t n : occupancy) {
+    if (n > 0) {
+      mean_occupied += n;
+      ++occupied;
+    }
+  }
+  if (occupied == 0) return map;
+  mean_occupied /= static_cast<double>(occupied);
+  const double opaque_threshold =
+      mean_occupied * options.occluder_density_factor;
+
+  const geo::Frustum frustum(pose, options.intrinsics);
+  const geo::Vec3 eye = pose.position;
+
+  for (vv::CellId c = 0; c < grid.cell_count(); ++c) {
+    if (occupancy[c] == 0) continue;
+    const geo::Aabb cell = grid.cell_bounds(c);
+    if (options.viewport_culling && !frustum.intersects(cell)) continue;
+
+    const geo::Vec3 center = cell.center();
+    if (options.occlusion_culling) {
+      if (ray_occluded(grid, occupancy, eye, center, c, opaque_threshold,
+                       options.occluder_thickness_cells))
+        continue;
+      bool behind_body = false;
+      for (const BodyObstacle& body : others) {
+        if (segment_hits_body(eye, center, body)) {
+          behind_body = true;
+          break;
+        }
+      }
+      if (behind_body) continue;
+    }
+
+    double lod = 1.0;
+    if (options.distance_lod) {
+      const double d = std::max(center.distance(eye), 1e-3);
+      if (d > options.lod_reference_m) {
+        const double ratio = options.lod_reference_m / d;
+        lod = std::max(ratio * ratio, options.lod_min);
+      }
+    }
+    map.set(c, lod);
+  }
+  return map;
+}
+
+double fetch_bytes(const VisibilityMap& map, const FetchSizer& sizer) {
+  double total = 0.0;
+  for (vv::CellId c = 0; c < map.cell_count(); ++c) {
+    const double lod = map.lod(c);
+    if (lod > 0.0) total += sizer.cell_bytes(c) * lod;
+  }
+  return total;
+}
+
+}  // namespace volcast::view

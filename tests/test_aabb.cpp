@@ -1,0 +1,120 @@
+#include "geometry/aabb.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::geo {
+namespace {
+
+TEST(Aabb, DefaultIsInvalid) {
+  const Aabb box;
+  EXPECT_FALSE(box.valid());
+  EXPECT_EQ(box.volume(), 0.0);
+}
+
+TEST(Aabb, ExpandBuildsBounds) {
+  Aabb box;
+  box.expand({1, 2, 3});
+  EXPECT_TRUE(box.valid());
+  EXPECT_EQ(box.volume(), 0.0);
+  box.expand({-1, 4, 0});
+  EXPECT_EQ(box.lo, Vec3(-1, 2, 0));
+  EXPECT_EQ(box.hi, Vec3(1, 4, 3));
+}
+
+TEST(Aabb, CenterExtentVolume) {
+  const Aabb box({0, 0, 0}, {2, 4, 6});
+  EXPECT_EQ(box.center(), Vec3(1, 2, 3));
+  EXPECT_EQ(box.extent(), Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(box.volume(), 48.0);
+}
+
+TEST(Aabb, ContainsBoundaryInclusive) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(box.contains({0, 0, 0}));
+  EXPECT_TRUE(box.contains({1, 1, 1}));
+  EXPECT_TRUE(box.contains({0.5, 0.5, 0.5}));
+  EXPECT_FALSE(box.contains({1.0001, 0.5, 0.5}));
+}
+
+TEST(Aabb, IntersectsOverlappingAndTouching) {
+  const Aabb a({0, 0, 0}, {1, 1, 1});
+  const Aabb b({0.5, 0.5, 0.5}, {2, 2, 2});
+  const Aabb touching({1, 0, 0}, {2, 1, 1});
+  const Aabb apart({3, 3, 3}, {4, 4, 4});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(a.intersects(touching));
+  EXPECT_FALSE(a.intersects(apart));
+}
+
+TEST(Aabb, PaddedGrowsAllSides) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  const Aabb p = box.padded(0.5);
+  EXPECT_EQ(p.lo, Vec3(-0.5, -0.5, -0.5));
+  EXPECT_EQ(p.hi, Vec3(1.5, 1.5, 1.5));
+}
+
+TEST(Aabb, ExpandWithBox) {
+  Aabb a({0, 0, 0}, {1, 1, 1});
+  a.expand(Aabb({-1, 0.5, 0}, {0.5, 2, 1}));
+  EXPECT_EQ(a.lo, Vec3(-1, 0, 0));
+  EXPECT_EQ(a.hi, Vec3(1, 2, 1));
+}
+
+TEST(Aabb, CornersEnumerateAllEight) {
+  const Aabb box({0, 0, 0}, {1, 2, 3});
+  const auto corners = box.corners();
+  EXPECT_EQ(corners.size(), 8u);
+  for (const Vec3& c : corners) EXPECT_TRUE(box.contains(c));
+}
+
+TEST(Aabb, ClampProjectsOutsidePoints) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  EXPECT_EQ(box.clamp({2, 0.5, -1}), Vec3(1, 0.5, 0));
+  EXPECT_EQ(box.clamp({0.3, 0.4, 0.5}), Vec3(0.3, 0.4, 0.5));
+}
+
+TEST(Aabb, DistanceSqZeroInside) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  EXPECT_EQ(box.distance_sq({0.5, 0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.distance_sq({2, 0.5, 0.5}), 1.0);
+}
+
+TEST(RayAabb, HitsFromOutside) {
+  const Aabb box({1, -1, -1}, {2, 1, 1});
+  double t = 0.0;
+  EXPECT_TRUE(ray_intersects_aabb({0, 0, 0}, {1, 0, 0}, 10.0, box, &t));
+  EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(RayAabb, MissesWhenOffAxis) {
+  const Aabb box({1, -1, -1}, {2, 1, 1});
+  EXPECT_FALSE(ray_intersects_aabb({0, 5, 0}, {1, 0, 0}, 10.0, box));
+}
+
+TEST(RayAabb, RespectsMaxT) {
+  const Aabb box({5, -1, -1}, {6, 1, 1});
+  EXPECT_FALSE(ray_intersects_aabb({0, 0, 0}, {1, 0, 0}, 4.0, box));
+  EXPECT_TRUE(ray_intersects_aabb({0, 0, 0}, {1, 0, 0}, 5.5, box));
+}
+
+TEST(RayAabb, StartingInsideHitsWithZeroEntry) {
+  const Aabb box({-1, -1, -1}, {1, 1, 1});
+  double t = -1.0;
+  EXPECT_TRUE(ray_intersects_aabb({0, 0, 0}, {0, 1, 0}, 10.0, box, &t));
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(RayAabb, ParallelRayOutsideSlabMisses) {
+  const Aabb box({1, 1, 1}, {2, 2, 2});
+  // Parallel to x-axis but y outside the slab.
+  EXPECT_FALSE(ray_intersects_aabb({0, 0, 1.5}, {1, 0, 0}, 10.0, box));
+}
+
+TEST(RayAabb, DiagonalHit) {
+  const Aabb box({1, 1, 1}, {2, 2, 2});
+  const Vec3 dir = Vec3{1, 1, 1}.normalized();
+  EXPECT_TRUE(ray_intersects_aabb({0, 0, 0}, dir, 10.0, box));
+}
+
+}  // namespace
+}  // namespace volcast::geo

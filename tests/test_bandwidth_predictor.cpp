@@ -1,0 +1,95 @@
+#include "core/bandwidth_predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::core {
+namespace {
+
+TEST(BandwidthPredictor, NoSamplesFallsBackToPhy) {
+  BandwidthPredictor p(BandwidthEstimator::kCrossLayer);
+  p.set_phy_state(800.0, false);
+  EXPECT_DOUBLE_EQ(p.predict_mbps(), 800.0);
+}
+
+TEST(BandwidthPredictor, AppOnlyIsHarmonicMean) {
+  BandwidthPredictor p(BandwidthEstimator::kAppOnly);
+  p.observe(100.0, 1000.0);
+  p.observe(400.0, 1000.0);
+  // Harmonic mean of {100, 400} = 2/(1/100 + 1/400) = 160.
+  EXPECT_NEAR(p.predict_mbps(), 160.0, 1e-9);
+}
+
+TEST(BandwidthPredictor, AppOnlyIgnoresPhyChanges) {
+  BandwidthPredictor p(BandwidthEstimator::kAppOnly);
+  p.observe(200.0, 1000.0);
+  const double before = p.predict_mbps();
+  p.set_phy_state(10.0, false);
+  EXPECT_DOUBLE_EQ(p.predict_mbps(), before);
+}
+
+TEST(BandwidthPredictor, PhyOnlyTracksInstantRate) {
+  BandwidthPredictor p(BandwidthEstimator::kPhyOnly);
+  p.observe(200.0, 1000.0);
+  p.set_phy_state(500.0, false);
+  EXPECT_DOUBLE_EQ(p.predict_mbps(), 500.0);
+}
+
+TEST(BandwidthPredictor, PhyOnlyDiscountsForecastBlockage) {
+  BandwidthPredictor p(BandwidthEstimator::kPhyOnly);
+  p.observe(200.0, 1000.0);
+  p.set_phy_state(1000.0, true);
+  EXPECT_LT(p.predict_mbps(), 500.0);
+}
+
+TEST(BandwidthPredictor, CrossLayerReactsToRssCollapse) {
+  // App history says ~600 Mbps; the PHY just collapsed to 60. Cross-layer
+  // must fall with it immediately, app-only must not.
+  BandwidthPredictor cross(BandwidthEstimator::kCrossLayer);
+  BandwidthPredictor app(BandwidthEstimator::kAppOnly);
+  for (int i = 0; i < 8; ++i) {
+    cross.observe(600.0, 1000.0);
+    app.observe(600.0, 1000.0);
+  }
+  cross.set_phy_state(100.0, false);
+  app.set_phy_state(100.0, false);
+  EXPECT_LT(cross.predict_mbps(), 100.0);
+  EXPECT_NEAR(app.predict_mbps(), 600.0, 1e-9);
+}
+
+TEST(BandwidthPredictor, CrossLayerStableWhenChannelStable) {
+  BandwidthPredictor p(BandwidthEstimator::kCrossLayer);
+  for (int i = 0; i < 8; ++i) p.observe(600.0, 1000.0);
+  p.set_phy_state(1000.0, false);
+  EXPECT_NEAR(p.predict_mbps(), 600.0, 1.0);
+}
+
+TEST(BandwidthPredictor, CrossLayerRatioClamped) {
+  // PHY doubling does not promise more than 2x app throughput.
+  BandwidthPredictor p(BandwidthEstimator::kCrossLayer);
+  for (int i = 0; i < 8; ++i) p.observe(300.0, 500.0);
+  p.set_phy_state(50000.0, false);
+  EXPECT_LE(p.predict_mbps(), 600.0 + 1e-9);
+}
+
+TEST(BandwidthPredictor, CrossLayerForecastDiscount) {
+  BandwidthPredictor p(BandwidthEstimator::kCrossLayer);
+  for (int i = 0; i < 8; ++i) p.observe(600.0, 1000.0);
+  p.set_phy_state(1000.0, true);
+  EXPECT_LT(p.predict_mbps(), 300.0);
+}
+
+TEST(BandwidthPredictor, WindowSlides) {
+  BandwidthPredictor p(BandwidthEstimator::kAppOnly, 4);
+  for (int i = 0; i < 4; ++i) p.observe(100.0, 1000.0);
+  for (int i = 0; i < 4; ++i) p.observe(900.0, 1000.0);
+  EXPECT_NEAR(p.predict_mbps(), 900.0, 1e-9);
+}
+
+TEST(BandwidthPredictor, ModeNames) {
+  EXPECT_STREQ(to_string(BandwidthEstimator::kAppOnly), "app-only");
+  EXPECT_STREQ(to_string(BandwidthEstimator::kPhyOnly), "phy-only");
+  EXPECT_STREQ(to_string(BandwidthEstimator::kCrossLayer), "cross-layer");
+}
+
+}  // namespace
+}  // namespace volcast::core

@@ -1,0 +1,129 @@
+#include "pointcloud/cell_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace volcast::vv {
+namespace {
+
+const geo::Aabb kUnitBox({0, 0, 0}, {1, 1, 1});
+
+TEST(CellGrid, RejectsBadArguments) {
+  EXPECT_THROW(CellGrid(kUnitBox, 0.0), std::invalid_argument);
+  EXPECT_THROW(CellGrid(kUnitBox, -1.0), std::invalid_argument);
+  EXPECT_THROW(CellGrid(geo::Aabb{}, 0.5), std::invalid_argument);
+}
+
+TEST(CellGrid, CellCountsMatchDimensions) {
+  const CellGrid grid(geo::Aabb({0, 0, 0}, {2, 1, 0.5}), 0.5);
+  EXPECT_EQ(grid.nx(), 4u);
+  EXPECT_EQ(grid.ny(), 2u);
+  EXPECT_EQ(grid.nz(), 1u);
+  EXPECT_EQ(grid.cell_count(), 8u);
+}
+
+TEST(CellGrid, CellLargerThanContentGivesOneCell) {
+  const CellGrid grid(kUnitBox, 5.0);
+  EXPECT_EQ(grid.cell_count(), 1u);
+}
+
+TEST(CellGrid, PaperCellSizes) {
+  // The paper's three partition granularities over a ~1.6x1.6x1.9 m body.
+  const geo::Aabb body({-0.8, -0.8, 0.0}, {0.8, 0.8, 1.9});
+  EXPECT_EQ(CellGrid(body, 1.00).cell_count(), 2u * 2u * 2u);
+  EXPECT_EQ(CellGrid(body, 0.50).cell_count(), 4u * 4u * 4u);
+  EXPECT_EQ(CellGrid(body, 0.25).cell_count(),
+            7u * 7u * 8u);
+}
+
+TEST(CellGrid, CellBoundsTileTheBox) {
+  const CellGrid grid(kUnitBox, 0.5);
+  double total = 0.0;
+  for (CellId c = 0; c < grid.cell_count(); ++c)
+    total += grid.cell_bounds(c).volume();
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(CellGrid, CellBoundsOutOfRangeThrows) {
+  const CellGrid grid(kUnitBox, 0.5);
+  EXPECT_THROW((void)grid.cell_bounds(grid.cell_count()), std::out_of_range);
+}
+
+TEST(CellGrid, LocateRoundTripsWithCellBounds) {
+  const CellGrid grid(kUnitBox, 0.3);
+  for (CellId c = 0; c < grid.cell_count(); ++c) {
+    EXPECT_EQ(grid.locate(grid.cell_center(c)), c);
+  }
+}
+
+TEST(CellGrid, LocateClampsOutOfBoundsPoints) {
+  const CellGrid grid(kUnitBox, 0.5);
+  EXPECT_EQ(grid.locate({-5, -5, -5}), grid.locate({0, 0, 0}));
+  EXPECT_EQ(grid.locate({5, 5, 5}), grid.locate({1, 1, 1}));
+}
+
+TEST(CellGrid, AssignPartitionsAllPoints) {
+  const CellGrid grid(kUnitBox, 0.5);
+  PointCloud cloud;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i / 100.0;
+    cloud.add({{v, 1.0 - v, 0.5}, 0, 0, 0});
+  }
+  const auto buckets = grid.assign(cloud);
+  std::size_t total = 0;
+  for (const auto& b : buckets) total += b.size();
+  EXPECT_EQ(total, cloud.size());
+  // Indices must be valid and unique.
+  std::vector<bool> seen(cloud.size(), false);
+  for (const auto& b : buckets) {
+    for (auto i : b) {
+      ASSERT_LT(i, cloud.size());
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+}
+
+TEST(CellGrid, OccupancyMatchesAssign) {
+  const CellGrid grid(kUnitBox, 0.34);
+  PointCloud cloud;
+  volcast::Rng rng(5);
+  for (int i = 0; i < 500; ++i)
+    cloud.add({{rng.uniform(), rng.uniform(), rng.uniform()}, 0, 0, 0});
+  const auto buckets = grid.assign(cloud);
+  const auto counts = grid.occupancy(cloud);
+  ASSERT_EQ(buckets.size(), counts.size());
+  for (std::size_t c = 0; c < counts.size(); ++c)
+    EXPECT_EQ(counts[c], buckets[c].size());
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0u), 500u);
+}
+
+TEST(CellGrid, PointsLandInContainingCell) {
+  const CellGrid grid(kUnitBox, 0.25);
+  volcast::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const geo::Vec3 p{rng.uniform(), rng.uniform(), rng.uniform()};
+    const CellId c = grid.locate(p);
+    // The located cell's padded bounds must contain the point (padding for
+    // boundary points assigned to the lower cell).
+    EXPECT_TRUE(grid.cell_bounds(c).padded(1e-9).contains(p));
+  }
+}
+
+class CellGridSizeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CellGridSizeSweep, FinerGridsHaveMoreCells) {
+  const double size = GetParam();
+  const CellGrid coarse(kUnitBox, size * 2.0);
+  const CellGrid fine(kUnitBox, size);
+  EXPECT_GE(fine.cell_count(), coarse.cell_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CellGridSizeSweep,
+                         ::testing::Values(0.1, 0.2, 0.25, 0.3, 0.5));
+
+}  // namespace
+}  // namespace volcast::vv

@@ -1,0 +1,96 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast {
+namespace {
+
+FlagParser sample_parser() {
+  FlagParser flags("prog", "test program");
+  flags.add_string("name", "default", "a string");
+  flags.add_number("count", 3, "a number");
+  flags.add_switch("verbose", "a switch");
+  return flags;
+}
+
+bool parse(FlagParser& flags, std::initializer_list<const char*> args,
+           std::string* error = nullptr) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return flags.parse(static_cast<int>(argv.size()), argv.data(), error);
+}
+
+TEST(Flags, DefaultsApplyWithoutArgs) {
+  auto flags = sample_parser();
+  EXPECT_TRUE(parse(flags, {}));
+  EXPECT_EQ(flags.str("name"), "default");
+  EXPECT_DOUBLE_EQ(flags.num("count"), 3.0);
+  EXPECT_FALSE(flags.on("verbose"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  auto flags = sample_parser();
+  EXPECT_TRUE(parse(flags, {"--name=alice", "--count=7"}));
+  EXPECT_EQ(flags.str("name"), "alice");
+  EXPECT_EQ(flags.integer("count"), 7);
+}
+
+TEST(Flags, SpaceSyntax) {
+  auto flags = sample_parser();
+  EXPECT_TRUE(parse(flags, {"--name", "bob", "--count", "2.5"}));
+  EXPECT_EQ(flags.str("name"), "bob");
+  EXPECT_DOUBLE_EQ(flags.num("count"), 2.5);
+}
+
+TEST(Flags, SwitchPresenceEnables) {
+  auto flags = sample_parser();
+  EXPECT_TRUE(parse(flags, {"--verbose"}));
+  EXPECT_TRUE(flags.on("verbose"));
+}
+
+TEST(Flags, SwitchExplicitValue) {
+  auto flags = sample_parser();
+  EXPECT_TRUE(parse(flags, {"--verbose=false"}));
+  EXPECT_FALSE(flags.on("verbose"));
+  auto flags2 = sample_parser();
+  std::string error;
+  EXPECT_FALSE(parse(flags2, {"--verbose=yes"}, &error));
+  EXPECT_NE(error.find("verbose"), std::string::npos);
+}
+
+TEST(Flags, UnknownFlagFails) {
+  auto flags = sample_parser();
+  std::string error;
+  EXPECT_FALSE(parse(flags, {"--bogus=1"}, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(Flags, MissingValueFails) {
+  auto flags = sample_parser();
+  std::string error;
+  EXPECT_FALSE(parse(flags, {"--name"}, &error));
+  EXPECT_NE(error.find("needs a value"), std::string::npos);
+}
+
+TEST(Flags, PositionalArgumentFails) {
+  auto flags = sample_parser();
+  std::string error;
+  EXPECT_FALSE(parse(flags, {"stray"}, &error));
+}
+
+TEST(Flags, HelpRequested) {
+  auto flags = sample_parser();
+  EXPECT_TRUE(parse(flags, {"--help"}));
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.help().find("--count"), std::string::npos);
+  EXPECT_NE(flags.help().find("a switch"), std::string::npos);
+}
+
+TEST(Flags, LaterValueWins) {
+  auto flags = sample_parser();
+  EXPECT_TRUE(parse(flags, {"--count=1", "--count=9"}));
+  EXPECT_EQ(flags.integer("count"), 9);
+}
+
+}  // namespace
+}  // namespace volcast

@@ -1,0 +1,127 @@
+// Failure injection: decoders fed corrupted, truncated or hostile inputs
+// must fail cleanly — throw or return bounded garbage — never crash,
+// over-allocate or hang. These are deterministic fuzz sweeps (seeded
+// corruption), so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "pointcloud/codec.h"
+#include "pointcloud/octree_codec.h"
+#include "trace/trace_io.h"
+
+namespace volcast {
+namespace {
+
+vv::PointCloud sample_cloud() {
+  Rng rng(5);
+  vv::PointCloud cloud;
+  for (int i = 0; i < 2000; ++i) {
+    cloud.add({{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(0, 2)},
+               static_cast<std::uint8_t>(rng.uniform_int(0, 255)), 10, 20});
+  }
+  return cloud;
+}
+
+/// Flips `flips` random bits of `data` (deterministic per seed).
+std::vector<std::uint8_t> corrupted(std::vector<std::uint8_t> data,
+                                    std::uint64_t seed, int flips) {
+  Rng rng(seed);
+  for (int i = 0; i < flips; ++i) {
+    const auto byte = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+    data[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+  }
+  return data;
+}
+
+TEST(FuzzDecoders, MortonCodecSurvivesBitFlips) {
+  const auto blob = vv::encode(sample_cloud());
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const auto bad = corrupted(blob, seed, 3);
+    try {
+      const auto cloud = vv::decode(bad);
+      // Garbage is fine; unbounded output is not.
+      EXPECT_LE(cloud.size(), 64u * 8u * bad.size() + 64u);
+    } catch (const std::runtime_error&) {
+      // Clean rejection is fine too.
+    }
+  }
+}
+
+TEST(FuzzDecoders, MortonCodecSurvivesTruncation) {
+  const auto blob = vv::encode(sample_cloud());
+  for (std::size_t keep = 0; keep < blob.size(); keep += 97) {
+    const std::vector<std::uint8_t> cut(blob.begin(),
+                                        blob.begin() + static_cast<long>(keep));
+    try {
+      const auto cloud = vv::decode(cut);
+      EXPECT_LE(cloud.size(), 64u * 8u * (cut.size() + 8) + 64u);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(FuzzDecoders, MortonCodecRejectsHugeCountHeader) {
+  auto blob = vv::encode(sample_cloud());
+  // Overwrite the count field (bytes 4..7, little endian) with 2^32 - 1.
+  blob[4] = blob[5] = blob[6] = blob[7] = 0xff;
+  EXPECT_THROW((void)vv::decode(blob), std::runtime_error);
+}
+
+TEST(FuzzDecoders, OctreeCodecSurvivesBitFlips) {
+  const auto blob = vv::octree_encode(sample_cloud());
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const auto bad = corrupted(blob, seed, 3);
+    try {
+      const auto cloud = vv::octree_decode(bad);
+      EXPECT_LE(cloud.size(), 64u * 8u * bad.size() + 64u);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(FuzzDecoders, OctreeCodecSurvivesTruncation) {
+  const auto blob = vv::octree_encode(sample_cloud());
+  for (std::size_t keep = 0; keep < blob.size(); keep += 53) {
+    const std::vector<std::uint8_t> cut(blob.begin(),
+                                        blob.begin() + static_cast<long>(keep));
+    try {
+      (void)vv::octree_decode(cut);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(FuzzDecoders, OctreeCodecRejectsHugeVoxelCount) {
+  auto blob = vv::octree_encode(sample_cloud());
+  blob[4] = blob[5] = blob[6] = blob[7] = 0xff;
+  EXPECT_THROW((void)vv::octree_decode(blob), std::runtime_error);
+}
+
+TEST(FuzzDecoders, TraceReaderRejectsHugeCount) {
+  EXPECT_THROW((void)trace::trace_from_string("VCTRACE 1 HM 30 4000000000\n"),
+               std::runtime_error);
+}
+
+TEST(FuzzDecoders, TraceReaderSurvivesGarbageBodies) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    std::string text = "VCTRACE 1 HM 30 3\n";
+    for (int j = 0; j < 20; ++j)
+      text += static_cast<char>(rng.uniform_int(32, 126));
+    EXPECT_THROW((void)trace::trace_from_string(text), std::runtime_error);
+  }
+}
+
+TEST(FuzzDecoders, EmptyAndTinyInputs) {
+  for (std::size_t n : {0u, 1u, 4u, 16u, 57u}) {
+    const std::vector<std::uint8_t> tiny(n, 0x5a);
+    EXPECT_THROW((void)vv::decode(tiny), std::runtime_error);
+    EXPECT_THROW((void)vv::octree_decode(tiny), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace volcast

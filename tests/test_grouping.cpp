@@ -1,0 +1,221 @@
+#include "core/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "viewport/similarity.h"
+
+namespace volcast::core {
+namespace {
+
+using view::VisibilityMap;
+
+/// Builds maps where users i and j overlap in `shared` cells out of 10.
+struct Fixture {
+  std::vector<VisibilityMap> maps;
+  std::vector<UserState> users;
+
+  explicit Fixture(const std::vector<std::pair<int, int>>& ranges,
+                   double rate = 1000.0) {
+    maps.reserve(ranges.size());
+    for (const auto& [lo, hi] : ranges) {
+      VisibilityMap m(12);
+      for (int c = lo; c <= hi; ++c) m.set(static_cast<vv::CellId>(c));
+      maps.push_back(m);
+    }
+    for (std::size_t u = 0; u < maps.size(); ++u)
+      users.push_back({u, &maps[u], 10e6, rate});
+  }
+
+  [[nodiscard]] OverlapBitsFn overlap_fn() const {
+    return [this](std::span<const std::size_t> idx) {
+      std::vector<VisibilityMap> group;
+      for (auto i : idx) group.push_back(maps[i]);
+      const auto inter = view::intersection(group);
+      return 1e6 * static_cast<double>(inter.visible_count());
+    };
+  }
+};
+
+GroupRateFn fixed_rate(double mbps) {
+  return [mbps](std::span<const std::size_t>) { return mbps; };
+}
+
+std::multiset<std::multiset<std::size_t>> as_sets(const GroupingResult& r) {
+  std::multiset<std::multiset<std::size_t>> out;
+  for (const auto& g : r.groups)
+    out.insert(std::multiset<std::size_t>(g.begin(), g.end()));
+  return out;
+}
+
+TEST(Grouping, EmptyInput) {
+  GrouperConfig config;
+  const auto result =
+      form_groups({}, config, fixed_rate(1000), [](auto) { return 0.0; });
+  EXPECT_TRUE(result.groups.empty());
+}
+
+TEST(Grouping, UnicastOnlyKeepsSingletons) {
+  Fixture f({{0, 9}, {0, 9}, {0, 9}});
+  GrouperConfig config;
+  config.policy = GroupingPolicy::kUnicastOnly;
+  const auto result =
+      form_groups(f.users, config, fixed_rate(900), f.overlap_fn());
+  EXPECT_EQ(result.groups.size(), 3u);
+  for (const auto& g : result.groups) EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(Grouping, GreedyMergesIdenticalViewports) {
+  Fixture f({{0, 9}, {0, 9}});
+  GrouperConfig config;
+  const auto result =
+      form_groups(f.users, config, fixed_rate(900), f.overlap_fn());
+  ASSERT_EQ(result.groups.size(), 1u);
+  EXPECT_EQ(result.groups[0].size(), 2u);
+}
+
+TEST(Grouping, GreedyRespectsIouBar) {
+  // Overlap 1 cell of 10 each: IoU = 1/19 << 0.3.
+  Fixture f({{0, 9}, {9, 11}});
+  GrouperConfig config;
+  config.min_iou = 0.3;
+  const auto result =
+      form_groups(f.users, config, fixed_rate(2000), f.overlap_fn());
+  EXPECT_EQ(result.groups.size(), 2u);
+}
+
+TEST(Grouping, GreedySkipsLossyMulticast) {
+  // Identical viewports but terrible multicast rate: stay unicast.
+  Fixture f({{0, 9}, {0, 9}});
+  GrouperConfig config;
+  const auto result =
+      form_groups(f.users, config, fixed_rate(100), f.overlap_fn());
+  EXPECT_EQ(result.groups.size(), 2u);
+}
+
+TEST(Grouping, FrameBudgetBlocksSlowGroups) {
+  // Multicast is nominally better but T_m exceeds 1/F.
+  Fixture f({{0, 9}, {0, 9}}, 400.0);
+  GrouperConfig config;
+  config.target_fps = 120.0;  // 8.3 ms budget; 10 Mbit needs > 25 ms
+  const auto result =
+      form_groups(f.users, config, fixed_rate(380), f.overlap_fn());
+  EXPECT_EQ(result.groups.size(), 2u);
+}
+
+TEST(Grouping, PairsOnlyCapsGroupSize) {
+  Fixture f({{0, 9}, {0, 9}, {0, 9}, {0, 9}});
+  GrouperConfig config;
+  config.policy = GroupingPolicy::kPairsOnly;
+  const auto result =
+      form_groups(f.users, config, fixed_rate(900), f.overlap_fn());
+  for (const auto& g : result.groups) EXPECT_LE(g.size(), 2u);
+  EXPECT_EQ(result.groups.size(), 2u);
+}
+
+TEST(Grouping, MaxGroupSizeHonoredByGreedy) {
+  Fixture f({{0, 9}, {0, 9}, {0, 9}, {0, 9}});
+  GrouperConfig config;
+  config.max_group_size = 3;
+  const auto result =
+      form_groups(f.users, config, fixed_rate(900), f.overlap_fn());
+  for (const auto& g : result.groups) EXPECT_LE(g.size(), 3u);
+}
+
+TEST(Grouping, ExhaustiveMatchesGreedyOnClearCase) {
+  Fixture f({{0, 6}, {0, 6}, {3, 11}, {3, 11}});
+  GrouperConfig greedy_config;
+  GrouperConfig ex_config;
+  ex_config.policy = GroupingPolicy::kExhaustive;
+  const auto greedy =
+      form_groups(f.users, greedy_config, fixed_rate(900), f.overlap_fn());
+  const auto exhaustive =
+      form_groups(f.users, ex_config, fixed_rate(900), f.overlap_fn());
+  EXPECT_EQ(as_sets(greedy), as_sets(exhaustive));
+}
+
+TEST(Grouping, ExhaustiveNeverWorseThanGreedy) {
+  Fixture f({{0, 5}, {2, 8}, {4, 10}, {6, 11}, {0, 11}});
+  GrouperConfig greedy_config;
+  greedy_config.min_iou = 0.0;
+  GrouperConfig ex_config;
+  ex_config.policy = GroupingPolicy::kExhaustive;
+  const auto greedy =
+      form_groups(f.users, greedy_config, fixed_rate(700), f.overlap_fn());
+  const auto exhaustive =
+      form_groups(f.users, ex_config, fixed_rate(700), f.overlap_fn());
+  EXPECT_LE(exhaustive.schedule.airtime_s(),
+            greedy.schedule.airtime_s() + 1e-12);
+}
+
+TEST(Grouping, ExhaustiveRejectsTooManyUsers) {
+  std::vector<VisibilityMap> maps(11, VisibilityMap(4));
+  std::vector<UserState> users;
+  for (std::size_t u = 0; u < 11; ++u)
+    users.push_back({u, &maps[u], 1e6, 1000.0});
+  GrouperConfig config;
+  config.policy = GroupingPolicy::kExhaustive;
+  EXPECT_THROW(
+      (void)form_groups(users, config, fixed_rate(900),
+                        [](auto) { return 0.0; }),
+      std::invalid_argument);
+}
+
+TEST(Grouping, PartitionCoversAllUsersExactlyOnce) {
+  Fixture f({{0, 4}, {1, 6}, {3, 9}, {5, 11}, {0, 11}, {2, 7}});
+  for (auto policy : {GroupingPolicy::kUnicastOnly, GroupingPolicy::kGreedyIoU,
+                      GroupingPolicy::kPairsOnly,
+                      GroupingPolicy::kExhaustive}) {
+    GrouperConfig config;
+    config.policy = policy;
+    const auto result =
+        form_groups(f.users, config, fixed_rate(800), f.overlap_fn());
+    std::multiset<std::size_t> all;
+    for (const auto& g : result.groups) all.insert(g.begin(), g.end());
+    EXPECT_EQ(all.size(), f.users.size()) << to_string(policy);
+    for (std::size_t u = 0; u < f.users.size(); ++u)
+      EXPECT_EQ(all.count(u), 1u) << to_string(policy);
+  }
+}
+
+TEST(Grouping, ScheduleGroupsAlignWithGroupIds) {
+  Fixture f({{0, 9}, {0, 9}, {10, 11}});
+  GrouperConfig config;
+  const auto result =
+      form_groups(f.users, config, fixed_rate(900), f.overlap_fn());
+  ASSERT_EQ(result.groups.size(), result.schedule.groups.size());
+  for (std::size_t g = 0; g < result.groups.size(); ++g) {
+    EXPECT_EQ(result.groups[g].size(),
+              result.schedule.groups[g].members.size());
+  }
+}
+
+TEST(Grouping, PolicyNames) {
+  EXPECT_STREQ(to_string(GroupingPolicy::kUnicastOnly), "unicast-only");
+  EXPECT_STREQ(to_string(GroupingPolicy::kGreedyIoU), "greedy-iou");
+  EXPECT_STREQ(to_string(GroupingPolicy::kPairsOnly), "pairs-only");
+  EXPECT_STREQ(to_string(GroupingPolicy::kExhaustive), "exhaustive");
+}
+
+class GroupingRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GroupingRateSweep, MulticastAdoptionMonotoneInRate) {
+  // Property: as the multicast rate improves, greedy merges at least as
+  // much (group count never increases).
+  Fixture f({{0, 9}, {0, 9}, {0, 9}});
+  GrouperConfig config;
+  const auto at_rate =
+      form_groups(f.users, config, fixed_rate(GetParam()), f.overlap_fn());
+  const auto at_better = form_groups(f.users, config,
+                                     fixed_rate(GetParam() * 1.5),
+                                     f.overlap_fn());
+  EXPECT_LE(at_better.groups.size(), at_rate.groups.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, GroupingRateSweep,
+                         ::testing::Values(200.0, 400.0, 600.0, 800.0,
+                                           1200.0));
+
+}  // namespace
+}  // namespace volcast::core

@@ -1,0 +1,138 @@
+#include "mmwave/link.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace volcast::mmwave {
+namespace {
+
+struct Rig {
+  Channel channel{Room{}};
+  geo::Pose ap_pose = geo::Pose::look_at({4, 0.1, 2.6}, {4, 3, 1.2});
+  PhasedArray ap{{}, ap_pose, kMmWaveCarrierHz};
+  Codebook codebook{ap};
+  LinkBudget budget{};
+};
+
+TEST(Link, SteeredBeamGivesUsableRss) {
+  Rig s;
+  const geo::Vec3 user{4.0, 3.0, 1.5};
+  const double rss = rss_dbm(s.ap, s.ap.steer_at(user), s.channel, user, {},
+                             s.budget);
+  EXPECT_GT(rss, -68.0);  // at least MCS 1 at 3 m
+  EXPECT_LT(rss, -30.0);  // but not implausibly hot
+}
+
+TEST(Link, RssFallsWithDistance) {
+  Rig s;
+  const geo::Vec3 near_user{4.0, 2.0, 1.5};
+  const geo::Vec3 far_user{4.0, 5.5, 1.5};
+  const double near_rss = rss_dbm(s.ap, s.ap.steer_at(near_user), s.channel,
+                                  near_user, {}, s.budget);
+  const double far_rss = rss_dbm(s.ap, s.ap.steer_at(far_user), s.channel,
+                                 far_user, {}, s.budget);
+  EXPECT_GT(near_rss, far_rss);
+}
+
+TEST(Link, MisalignedBeamLosesManyDb) {
+  Rig s;
+  const geo::Vec3 user{2.0, 3.0, 1.5};
+  const geo::Vec3 elsewhere{6.5, 3.0, 1.5};
+  const double aligned = rss_dbm(s.ap, s.ap.steer_at(user), s.channel, user,
+                                 {}, s.budget);
+  const double misaligned = rss_dbm(s.ap, s.ap.steer_at(elsewhere), s.channel,
+                                    user, {}, s.budget);
+  EXPECT_GT(aligned - misaligned, 10.0);
+}
+
+TEST(Link, BodyBlockageDropsRss) {
+  Rig s;
+  const geo::Vec3 user{4.0, 4.0, 1.5};
+  const geo::BodyObstacle blocker{{4.0, 3.2, 0.0}, 0.25, 1.8};
+  const Awv w = s.ap.steer_at(user);
+  const double clear = rss_dbm(s.ap, w, s.channel, user, {}, s.budget);
+  const std::vector<geo::BodyObstacle> bodies{blocker};
+  const double blocked = rss_dbm(s.ap, w, s.channel, user, bodies, s.budget);
+  EXPECT_GT(clear - blocked, 8.0);
+  // Reflections keep the link alive (not -200).
+  EXPECT_GT(blocked, -110.0);
+}
+
+TEST(Link, BestBeamRssMatchesManualSearch) {
+  Rig s;
+  const geo::Vec3 user{5.0, 3.5, 1.5};
+  const double via_helper =
+      best_beam_rss_dbm(s.ap, s.codebook, s.channel, user, {}, s.budget);
+  double manual = -1e9;
+  for (std::size_t i = 0; i < s.codebook.size(); ++i) {
+    manual = std::max(manual, rss_dbm(s.ap, s.codebook.beam(i), s.channel,
+                                      user, {}, s.budget));
+  }
+  // The helper picks by geometric gain, which may differ from the
+  // multipath-aware optimum by a small margin only.
+  EXPECT_NEAR(via_helper, manual, 3.0);
+}
+
+TEST(Link, TxPowerShiftsRssOneToOne) {
+  Rig s;
+  const geo::Vec3 user{4.0, 3.0, 1.5};
+  const Awv w = s.ap.steer_at(user);
+  LinkBudget hot = s.budget;
+  hot.tx_power_dbm += 7.0;
+  const double base = rss_dbm(s.ap, w, s.channel, user, {}, s.budget);
+  const double boosted = rss_dbm(s.ap, w, s.channel, user, {}, hot);
+  EXPECT_NEAR(boosted - base, 7.0, 1e-9);
+}
+
+TEST(Link, ReflectionsAddEnergy) {
+  Rig s;
+  Room no_reflections;
+  no_reflections.enable_reflections = false;
+  const Channel bare(no_reflections);
+  const geo::Vec3 user{4.0, 3.0, 1.5};
+  const Awv w = s.ap.steer_at(user);
+  const double with = rss_dbm(s.ap, w, s.channel, user, {}, s.budget);
+  const double without = rss_dbm(s.ap, w, bare, user, {}, s.budget);
+  EXPECT_GE(with, without);
+}
+
+TEST(Shadowing, DeterministicPerSeed) {
+  ShadowingProcess a(2.5, 0.5, 42);
+  ShadowingProcess b(2.5, 0.5, 42);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_DOUBLE_EQ(a.step(0.033), b.step(0.033));
+}
+
+TEST(Shadowing, MarginalVarianceMatchesSigma) {
+  ShadowingProcess p(3.0, 0.2, 7);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = p.step(0.033);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.35);
+}
+
+TEST(Shadowing, TemporallyCorrelatedAtShortLags) {
+  ShadowingProcess p(3.0, 1.0, 9);
+  double prev = p.step(0.01);
+  double abs_step_sum = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double cur = p.step(0.01);
+    abs_step_sum += std::abs(cur - prev);
+    prev = cur;
+  }
+  // Steps at dt << tau are much smaller than sigma.
+  EXPECT_LT(abs_step_sum / 1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace volcast::mmwave

@@ -1,0 +1,77 @@
+#include "mmwave/mcs.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::mmwave {
+namespace {
+
+TEST(Mcs, PaperAnchorPoint) {
+  // "RSS of -68 dBm ... can provide approximately 384 Mbps" — MCS 1.
+  const McsTable table;
+  const auto entry = table.select(-68.0);
+  EXPECT_EQ(entry.index, 1);
+  EXPECT_DOUBLE_EQ(entry.phy_rate_mbps, 385.0);
+}
+
+TEST(Mcs, StrongSignalTopRate) {
+  const McsTable table;
+  EXPECT_DOUBLE_EQ(table.rate_mbps(-40.0), 4620.0);
+  EXPECT_EQ(table.select(-53.0).index, 12);
+}
+
+TEST(Mcs, WeakSignalControlPhy) {
+  const McsTable table;
+  const auto entry = table.select(-75.0);
+  EXPECT_EQ(entry.index, 0);
+  EXPECT_DOUBLE_EQ(entry.phy_rate_mbps, 27.5);
+}
+
+TEST(Mcs, OutOfRangeIsZero) {
+  const McsTable table;
+  EXPECT_EQ(table.select(-90.0).index, -1);
+  EXPECT_DOUBLE_EQ(table.rate_mbps(-90.0), 0.0);
+}
+
+TEST(Mcs, RateMonotoneInRss) {
+  const McsTable table;
+  double last = -1.0;
+  for (double rss = -85.0; rss <= -40.0; rss += 0.5) {
+    const double rate = table.rate_mbps(rss);
+    EXPECT_GE(rate, last) << "at " << rss << " dBm";
+    last = rate;
+  }
+}
+
+TEST(Mcs, ExactSensitivityBoundariesInclusive) {
+  const McsTable table;
+  for (const McsEntry& entry : table.entries()) {
+    EXPECT_GE(table.rate_mbps(entry.sensitivity_dbm), entry.phy_rate_mbps)
+        << "MCS " << entry.index;
+    if (entry.index >= 1) {
+      // Just below an entry's sensitivity, the selected rate must drop
+      // (strictly below what is selected at the boundary itself).
+      EXPECT_LT(table.rate_mbps(entry.sensitivity_dbm - 0.01),
+                table.rate_mbps(entry.sensitivity_dbm))
+          << "MCS " << entry.index;
+    }
+  }
+}
+
+TEST(Mcs, GoodputAppliesMacEfficiency) {
+  McsTable table;
+  table.mac_efficiency = 0.5;
+  EXPECT_DOUBLE_EQ(table.goodput_mbps(-68.0), 385.0 * 0.5);
+}
+
+TEST(Mcs, TableHasThirteenEntries) {
+  const McsTable table;
+  EXPECT_EQ(table.entries().size(), 13u);
+  // Rates strictly increase with index (except the 5/6 sensitivity quirk,
+  // which affects thresholds, not rates).
+  for (std::size_t i = 1; i < table.entries().size(); ++i)
+    EXPECT_GT(table.entries()[i].phy_rate_mbps,
+              table.entries()[i - 1].phy_rate_mbps);
+}
+
+}  // namespace
+}  // namespace volcast::mmwave

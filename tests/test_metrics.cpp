@@ -1,0 +1,63 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::sim {
+namespace {
+
+SessionQoe sample() {
+  SessionQoe qoe;
+  qoe.duration_s = 10.0;
+  qoe.users = {
+      {0, 30.0, 0.0, 0.0, 2.0, 1, 150.0},
+      {1, 24.0, 2.0, 0.2, 1.0, 5, 120.0},
+      {2, 29.6, 0.1, 0.01, 1.5, 2, 140.0},
+  };
+  return qoe;
+}
+
+TEST(SessionQoe, Aggregates) {
+  const SessionQoe qoe = sample();
+  EXPECT_NEAR(qoe.mean_fps(), (30.0 + 24.0 + 29.6) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(qoe.min_fps(), 24.0);
+  EXPECT_NEAR(qoe.total_stall_s(), 2.1, 1e-12);
+  EXPECT_NEAR(qoe.mean_quality_tier(), 1.5, 1e-12);
+  EXPECT_NEAR(qoe.aggregate_goodput_mbps(), 410.0, 1e-12);
+}
+
+TEST(SessionQoe, FractionAtFps) {
+  const SessionQoe qoe = sample();
+  EXPECT_NEAR(qoe.fraction_at_fps(29.5), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(qoe.fraction_at_fps(20.0), 1.0, 1e-12);
+  EXPECT_NEAR(qoe.fraction_at_fps(31.0), 0.0, 1e-12);
+}
+
+TEST(SessionQoe, EmptyIsZero) {
+  const SessionQoe qoe;
+  EXPECT_EQ(qoe.mean_fps(), 0.0);
+  EXPECT_EQ(qoe.min_fps(), 0.0);
+  EXPECT_EQ(qoe.fraction_at_fps(30.0), 0.0);
+}
+
+TEST(SessionQoe, FairnessIndex) {
+  SessionQoe qoe = sample();
+  // Roughly equal goodputs: close to 1.
+  EXPECT_GT(qoe.fairness_index(), 0.95);
+  EXPECT_LE(qoe.fairness_index(), 1.0);
+  // One starved user drags it down.
+  qoe.users[1].mean_goodput_mbps = 1.0;
+  EXPECT_LT(qoe.fairness_index(), 0.8);
+  // Degenerate cases.
+  EXPECT_DOUBLE_EQ(SessionQoe{}.fairness_index(), 1.0);
+}
+
+TEST(SessionQoe, SummaryMentionsEveryUser) {
+  const std::string text = sample().summary();
+  EXPECT_NE(text.find("user 0"), std::string::npos);
+  EXPECT_NE(text.find("user 1"), std::string::npos);
+  EXPECT_NE(text.find("user 2"), std::string::npos);
+  EXPECT_NE(text.find("3 users"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace volcast::sim

@@ -1,0 +1,144 @@
+#include "trace/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace volcast::trace {
+namespace {
+
+MobilityParams headset_params() {
+  Rng rng(1);
+  return MobilityParams::for_device(DeviceType::kHeadset, rng, {0, 0, 1.1},
+                                    0.0);
+}
+
+MobilityParams phone_params() {
+  Rng rng(1);
+  return MobilityParams::for_device(DeviceType::kSmartphone, rng, {0, 0, 1.1},
+                                    0.0);
+}
+
+TEST(Mobility, DeterministicForSeed) {
+  MobilityModel a(headset_params(), 42);
+  MobilityModel b(headset_params(), 42);
+  for (int i = 0; i < 100; ++i) {
+    const auto pa = a.step(1.0 / 30.0);
+    const auto pb = b.step(1.0 / 30.0);
+    EXPECT_EQ(pa.position, pb.position);
+  }
+}
+
+TEST(Mobility, SeedsDiverge) {
+  MobilityModel a(headset_params(), 1);
+  MobilityModel b(headset_params(), 2);
+  double diff = 0.0;
+  for (int i = 0; i < 100; ++i)
+    diff += a.step(1.0 / 30.0).position.distance(b.step(1.0 / 30.0).position);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(Mobility, ZeroDtIsNoop) {
+  MobilityModel m(headset_params(), 7);
+  const auto before = m.pose();
+  const auto after = m.step(0.0);
+  EXPECT_EQ(before.position, after.position);
+}
+
+TEST(Mobility, StaysOutsideContent) {
+  MobilityModel m(headset_params(), 11);
+  for (int i = 0; i < 3000; ++i) {
+    const auto pose = m.step(1.0 / 30.0);
+    const double radial = std::hypot(pose.position.x, pose.position.y);
+    EXPECT_GE(radial, 0.59) << "walked into the content at step " << i;
+  }
+}
+
+TEST(Mobility, GazePointsRoughlyAtContent) {
+  const auto params = phone_params();
+  MobilityModel m(params, 13);
+  int looking_at_content = 0;
+  constexpr int kSteps = 900;
+  for (int i = 0; i < kSteps; ++i) {
+    const auto pose = m.step(1.0 / 30.0);
+    const geo::Vec3 to_content =
+        (params.attractor - pose.position).normalized();
+    if (pose.forward().dot(to_content) > 0.9) ++looking_at_content;
+  }
+  EXPECT_GT(looking_at_content, kSteps * 3 / 4);
+}
+
+TEST(Mobility, PhoneUsersMoveLessThanHeadsetUsers) {
+  // The paper's core PH vs HM distinction.
+  auto travel = [](const MobilityParams& params) {
+    MobilityModel m(params, 17);
+    double total = 0.0;
+    geo::Vec3 last = m.pose().position;
+    for (int i = 0; i < 900; ++i) {
+      const auto pose = m.step(1.0 / 30.0);
+      total += pose.position.distance(last);
+      last = pose.position;
+    }
+    return total;
+  };
+  EXPECT_LT(travel(phone_params()), travel(headset_params()));
+}
+
+TEST(Mobility, HeightStaysPlausible) {
+  MobilityModel m(headset_params(), 19);
+  for (int i = 0; i < 1000; ++i) {
+    const auto pose = m.step(1.0 / 30.0);
+    EXPECT_GT(pose.position.z, 1.0);
+    EXPECT_LT(pose.position.z, 2.2);
+  }
+}
+
+TEST(GenerateTrace, ProducesRequestedSamples) {
+  const Trace trace = generate_trace(headset_params(), 23, 120, 30.0);
+  EXPECT_EQ(trace.size(), 120u);
+  EXPECT_DOUBLE_EQ(trace.sample_rate_hz, 30.0);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 4.0);
+  EXPECT_EQ(trace.device, DeviceType::kHeadset);
+}
+
+TEST(GenerateTrace, PosesAreContinuous) {
+  const Trace trace = generate_trace(headset_params(), 29, 300, 30.0);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LT(trace.poses[i].position.distance(trace.poses[i - 1].position),
+              0.25)
+        << "jump at sample " << i;
+  }
+}
+
+TEST(DeviceType, Names) {
+  EXPECT_STREQ(to_string(DeviceType::kSmartphone), "PH");
+  EXPECT_STREQ(to_string(DeviceType::kHeadset), "HM");
+}
+
+class MobilityDtSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MobilityDtSweep, VarianceIndependentOfStepSize) {
+  // OU discretization property: radial spread after 10 s should not blow
+  // up (or vanish) as dt changes.
+  const auto params = headset_params();
+  MobilityModel m(params, 31);
+  const double dt = GetParam();
+  const int steps = static_cast<int>(30.0 / dt);
+  double sum_sq = 0.0;
+  int count = 0;
+  for (int i = 0; i < steps; ++i) {
+    const auto pose = m.step(dt);
+    const double r = std::hypot(pose.position.x, pose.position.y);
+    sum_sq += (r - params.ring_radius_m) * (r - params.ring_radius_m);
+    ++count;
+  }
+  const double rms = std::sqrt(sum_sq / count);
+  EXPECT_LT(rms, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dts, MobilityDtSweep,
+                         ::testing::Values(1.0 / 60.0, 1.0 / 30.0, 1.0 / 10.0,
+                                           0.2));
+
+}  // namespace
+}  // namespace volcast::trace

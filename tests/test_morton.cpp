@@ -1,0 +1,74 @@
+#include "geometry/morton.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace volcast::geo {
+namespace {
+
+TEST(Morton, KnownSmallValues) {
+  EXPECT_EQ(morton_encode(0, 0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1, 0), 2u);
+  EXPECT_EQ(morton_encode(0, 0, 1), 4u);
+  EXPECT_EQ(morton_encode(1, 1, 1), 7u);
+}
+
+TEST(Morton, RoundTripExhaustiveSmall) {
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        const auto code = morton_encode(x, y, z);
+        const auto back = morton_decode(code);
+        EXPECT_EQ(back.x, x);
+        EXPECT_EQ(back.y, y);
+        EXPECT_EQ(back.z, z);
+      }
+}
+
+TEST(Morton, RoundTripRandom21Bit) {
+  volcast::Rng rng(404);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_int(0, 0x1fffff));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_int(0, 0x1fffff));
+    const auto z = static_cast<std::uint32_t>(rng.uniform_int(0, 0x1fffff));
+    const auto back = morton_decode(morton_encode(x, y, z));
+    ASSERT_EQ(back.x, x);
+    ASSERT_EQ(back.y, y);
+    ASSERT_EQ(back.z, z);
+  }
+}
+
+TEST(Morton, MaxCoordinateFits63Bits) {
+  const auto code = morton_encode(0x1fffff, 0x1fffff, 0x1fffff);
+  EXPECT_EQ(code, 0x7fffffffffffffffULL);
+}
+
+TEST(Morton, SpreadCompactInverse) {
+  for (std::uint64_t v : {0ULL, 1ULL, 255ULL, 0x1fffffULL, 0x15555ULL}) {
+    EXPECT_EQ(morton_compact(morton_spread(v)), v);
+  }
+}
+
+TEST(Morton, LocalityNeighborsDifferLittle) {
+  // Property: adjacent cells along x differ only in interleaved x bits, so
+  // the delta of codes for +1 in x at even positions is small.
+  const auto a = morton_encode(4, 3, 5);
+  const auto b = morton_encode(5, 3, 5);
+  EXPECT_LT(b - a, 8u);
+}
+
+TEST(Morton, OrderingGroupsOctants) {
+  // All codes in the low octant [0,2)^3 are below any code with a
+  // coordinate >= 2 in every axis of the next octant.
+  std::uint64_t max_low = 0;
+  for (std::uint32_t x = 0; x < 2; ++x)
+    for (std::uint32_t y = 0; y < 2; ++y)
+      for (std::uint32_t z = 0; z < 2; ++z)
+        max_low = std::max(max_low, morton_encode(x, y, z));
+  EXPECT_LT(max_low, morton_encode(2, 2, 2));
+}
+
+}  // namespace
+}  // namespace volcast::geo

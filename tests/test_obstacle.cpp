@@ -1,0 +1,79 @@
+#include "geometry/obstacle.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::geo {
+namespace {
+
+TEST(Obstacle, DirectHitThroughCenter) {
+  BodyObstacle body;
+  body.position = {5, 0, 0};
+  EXPECT_TRUE(segment_hits_body({0, 0, 1.0}, {10, 0, 1.0}, body));
+  EXPECT_NEAR(segment_body_clearance({0, 0, 1.0}, {10, 0, 1.0}, body), 0.0,
+              1e-12);
+}
+
+TEST(Obstacle, MissBeside) {
+  BodyObstacle body;
+  body.position = {5, 1, 0};
+  body.radius_m = 0.25;
+  EXPECT_FALSE(segment_hits_body({0, 0, 1.0}, {10, 0, 1.0}, body));
+  EXPECT_NEAR(segment_body_clearance({0, 0, 1.0}, {10, 0, 1.0}, body), 1.0,
+              1e-12);
+}
+
+TEST(Obstacle, GrazingAtRadius) {
+  BodyObstacle body;
+  body.position = {5, 0.25, 0};
+  body.radius_m = 0.25;
+  EXPECT_TRUE(segment_hits_body({0, 0, 1.0}, {10, 0, 1.0}, body));
+}
+
+TEST(Obstacle, SegmentAboveCapsuleMisses) {
+  BodyObstacle body;
+  body.position = {5, 0, 0};
+  body.height_m = 1.8;
+  // A ceiling-level link passes over the person.
+  EXPECT_FALSE(segment_hits_body({0, 0, 2.5}, {10, 0, 2.5}, body));
+  EXPECT_TRUE(std::isinf(segment_body_clearance({0, 0, 2.5}, {10, 0, 2.5},
+                                                body)));
+}
+
+TEST(Obstacle, SlantedLinkHitsWhenCrossingAtBodyHeight) {
+  BodyObstacle body;
+  body.position = {5, 0, 0};
+  // AP at 2.6 m going down to a user at 1.4 m: at x=5 the ray is ~2.0 m.
+  EXPECT_FALSE(segment_hits_body({0, 0, 2.6}, {10, 0, 1.4}, body));
+  // Blocker nearer to the receiver: ray height at x=8 is ~1.64 m, inside.
+  body.position = {8, 0, 0};
+  EXPECT_TRUE(segment_hits_body({0, 0, 2.6}, {10, 0, 1.4}, body));
+}
+
+TEST(Obstacle, EndpointInsideBodyCounts) {
+  BodyObstacle body;
+  body.position = {1, 0, 0};
+  EXPECT_TRUE(segment_hits_body({1.1, 0, 1.0}, {5, 0, 1.0}, body));
+}
+
+TEST(Obstacle, DegenerateSegmentUsesPointDistance) {
+  BodyObstacle body;
+  body.position = {0.1, 0, 0};
+  EXPECT_TRUE(segment_hits_body({0, 0, 1}, {0, 0, 1}, body));
+  body.position = {1, 0, 0};
+  EXPECT_FALSE(segment_hits_body({0, 0, 1}, {0, 0, 1}, body));
+}
+
+TEST(Obstacle, ClearanceMonotoneInOffset) {
+  BodyObstacle body;
+  body.radius_m = 0.3;
+  double last = -1.0;
+  for (double offset = 0.0; offset < 2.0; offset += 0.25) {
+    body.position = {5, offset, 0};
+    const double c = segment_body_clearance({0, 0, 1}, {10, 0, 1}, body);
+    EXPECT_GT(c, last);
+    last = c;
+  }
+}
+
+}  // namespace
+}  // namespace volcast::geo

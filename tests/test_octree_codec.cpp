@@ -1,0 +1,185 @@
+#include "pointcloud/octree_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+#include "pointcloud/codec.h"
+#include "pointcloud/video_generator.h"
+
+namespace volcast::vv {
+namespace {
+
+PointCloud random_cloud(std::size_t n, std::uint64_t seed) {
+  volcast::Rng rng(seed);
+  PointCloud cloud;
+  for (std::size_t i = 0; i < n; ++i) {
+    cloud.add({{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(0, 2)},
+               static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+               static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+               static_cast<std::uint8_t>(rng.uniform_int(0, 255))});
+  }
+  return cloud;
+}
+
+TEST(OctreeCodec, EmptyCloudRoundTrips) {
+  const auto blob = octree_encode(PointCloud{});
+  EXPECT_TRUE(octree_decode(blob).empty());
+  EXPECT_EQ(octree_voxel_count(blob), 0u);
+}
+
+TEST(OctreeCodec, SinglePointAtVoxelCenter) {
+  PointCloud cloud;
+  cloud.add({{0.5, 0.25, 1.0}, 10, 20, 30});
+  const PointCloud back = octree_decode(octree_encode(cloud));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.points()[0].r, 10);
+  EXPECT_EQ(back.points()[0].g, 20);
+  EXPECT_EQ(back.points()[0].b, 30);
+}
+
+TEST(OctreeCodec, EveryDecodedVoxelNearAnInputPoint) {
+  // Geometry-fidelity property: each decoded voxel center lies within one
+  // voxel diagonal of some input point (no phantom geometry).
+  const PointCloud cloud = random_cloud(1500, 1);
+  OctreeCodecConfig config;
+  config.depth = 8;
+  const PointCloud back = octree_decode(octree_encode(cloud, config));
+  const geo::Vec3 extent = cloud.bounds().extent();
+  const double span = std::max({extent.x, extent.y, extent.z});
+  const double voxel_diag = std::sqrt(3.0) * span / 256.0;
+  for (const Point& v : back.points()) {
+    double best = 1e18;
+    for (const Point& p : cloud.points())
+      best = std::min(best, v.position.distance(p.position));
+    ASSERT_LE(best, voxel_diag);
+  }
+}
+
+TEST(OctreeCodec, DuplicatePointsCollapseToOneVoxel) {
+  PointCloud cloud;
+  for (int i = 0; i < 50; ++i) cloud.add({{0.1, 0.1, 0.1}, 100, 100, 100});
+  cloud.add({{0.9, 0.9, 0.9}, 1, 2, 3});
+  const auto blob = octree_encode(cloud);
+  EXPECT_EQ(octree_voxel_count(blob), 2u);
+  EXPECT_EQ(octree_decode(blob).size(), 2u);
+}
+
+TEST(OctreeCodec, PositionErrorBoundedByVoxelSize) {
+  const PointCloud cloud = random_cloud(1000, 2);
+  OctreeCodecConfig config;
+  config.depth = 10;
+  const PointCloud back = octree_decode(octree_encode(cloud, config));
+  // Every decoded voxel center lies within half a voxel of the input
+  // bounds (centers sit at (q + 0.5) * step).
+  const geo::Vec3 extent = cloud.bounds().extent();
+  const double span = std::max({extent.x, extent.y, extent.z});
+  const auto bounds = cloud.bounds().padded(span / 1024.0);
+  for (const Point& p : back.points())
+    EXPECT_TRUE(bounds.contains(p.position));
+}
+
+TEST(OctreeCodec, ColorsAveragedWithinVoxel) {
+  PointCloud cloud;
+  cloud.add({{0.2, 0.2, 0.2}, 100, 0, 0});
+  cloud.add({{0.2, 0.2, 0.2}, 200, 0, 0});
+  cloud.add({{0.8, 0.8, 0.8}, 0, 50, 0});
+  const PointCloud back = octree_decode(octree_encode(cloud));
+  ASSERT_EQ(back.size(), 2u);
+  bool found_average = false;
+  for (const Point& p : back.points())
+    if (p.r == 150) found_average = true;
+  EXPECT_TRUE(found_average);
+}
+
+TEST(OctreeCodec, NoColorModeGrey) {
+  PointCloud cloud;
+  cloud.add({{0.1, 0.2, 0.3}, 9, 9, 9});
+  OctreeCodecConfig config;
+  config.encode_colors = false;
+  const PointCloud back = octree_decode(octree_encode(cloud, config));
+  EXPECT_EQ(back.points()[0].r, 128);
+}
+
+TEST(OctreeCodec, RejectsBadDepth) {
+  OctreeCodecConfig config;
+  config.depth = 0;
+  EXPECT_THROW((void)octree_encode(PointCloud{}, config),
+               std::invalid_argument);
+  config.depth = 17;
+  EXPECT_THROW((void)octree_encode(PointCloud{}, config),
+               std::invalid_argument);
+}
+
+TEST(OctreeCodec, RejectsMalformedHeader) {
+  EXPECT_THROW((void)octree_decode(std::vector<std::uint8_t>(10, 0)),
+               std::runtime_error);
+  std::vector<std::uint8_t> junk(64, 0xcd);
+  EXPECT_THROW((void)octree_decode(junk), std::runtime_error);
+  EXPECT_THROW((void)octree_voxel_count(junk), std::runtime_error);
+}
+
+TEST(OctreeCodec, CompressesRealContentWell) {
+  VideoConfig vc;
+  vc.points_per_frame = 60'000;
+  vc.frame_count = 2;
+  const VideoGenerator gen(vc);
+  const PointCloud cloud = gen.frame(0);
+  const auto blob = octree_encode(cloud);
+  const std::size_t voxels = octree_voxel_count(blob);
+  const double bits_per_voxel =
+      8.0 * static_cast<double>(blob.size()) / static_cast<double>(voxels);
+  EXPECT_LT(bits_per_voxel, 32.0);
+  EXPECT_GT(bits_per_voxel, 4.0);
+}
+
+TEST(OctreeCodec, ComparableToMortonDeltaCodec) {
+  // The two pipelines compress the same content within ~2x of each other —
+  // a sanity check that both are in the realistic PCC regime.
+  VideoConfig vc;
+  vc.points_per_frame = 40'000;
+  vc.frame_count = 2;
+  const VideoGenerator gen(vc);
+  const PointCloud cloud = gen.frame(0);
+  const auto octree_blob = octree_encode(cloud);
+  const auto morton_blob = encode(cloud);
+  const double ratio = static_cast<double>(octree_blob.size()) /
+                       static_cast<double>(morton_blob.size());
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 2.5);
+}
+
+class OctreeDepthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OctreeDepthSweep, RoundTripsAtAnyDepth) {
+  const PointCloud cloud = random_cloud(2000, 7);
+  OctreeCodecConfig config;
+  config.depth = GetParam();
+  const auto blob = octree_encode(cloud, config);
+  const PointCloud back = octree_decode(blob);
+  EXPECT_EQ(back.size(), octree_voxel_count(blob));
+  EXPECT_GT(back.size(), 0u);
+  // Coarser trees merge more voxels.
+  EXPECT_LE(back.size(), cloud.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, OctreeDepthSweep,
+                         ::testing::Values(1u, 4u, 8u, 10u, 12u, 16u));
+
+TEST(OctreeCodec, DeeperTreesKeepMoreVoxels) {
+  const PointCloud cloud = random_cloud(5000, 9);
+  std::size_t last = 0;
+  for (unsigned depth : {4u, 6u, 8u, 10u}) {
+    OctreeCodecConfig config;
+    config.depth = depth;
+    const std::size_t voxels = octree_voxel_count(octree_encode(cloud, config));
+    EXPECT_GE(voxels, last);
+    last = voxels;
+  }
+}
+
+}  // namespace
+}  // namespace volcast::vv

@@ -1,0 +1,98 @@
+#include "mmwave/per.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::mmwave {
+namespace {
+
+const McsTable kTable;
+
+McsEntry mcs(int index) {
+  for (const auto& entry : kTable.entries())
+    if (entry.index == index) return entry;
+  return {};
+}
+
+TEST(PerModel, HalfAtMidpointMargin) {
+  const PerModel model;
+  const McsEntry entry = mcs(1);  // sensitivity -68
+  EXPECT_NEAR(model.per(entry.sensitivity_dbm + model.midpoint_db, entry),
+              0.5, 1e-9);
+}
+
+TEST(PerModel, CliffShape) {
+  const PerModel model;
+  const McsEntry entry = mcs(4);
+  // 3 dB above the midpoint: essentially error-free.
+  EXPECT_LT(model.per(entry.sensitivity_dbm + 3.5, entry), 0.01);
+  // 3 dB below: essentially dead.
+  EXPECT_GT(model.per(entry.sensitivity_dbm - 2.5, entry), 0.99);
+}
+
+TEST(PerModel, MonotoneDecreasingInRss) {
+  const PerModel model;
+  const McsEntry entry = mcs(7);
+  double last = 1.1;
+  for (double rss = entry.sensitivity_dbm - 5; rss < entry.sensitivity_dbm + 5;
+       rss += 0.5) {
+    const double p = model.per(rss, entry);
+    EXPECT_LT(p, last);
+    last = p;
+  }
+}
+
+TEST(PerModel, EffectiveGoodputNearTableGoodputAtHighMargin) {
+  const PerModel model;
+  // Far above every sensitivity: PER ~ 0, expected goodput ~ table goodput.
+  EXPECT_NEAR(model.effective_goodput_mbps(kTable, -30.0),
+              kTable.goodput_mbps(-30.0), kTable.goodput_mbps(-30.0) * 0.02);
+}
+
+TEST(PerModel, EffectiveGoodputAvoidsTheCliff) {
+  const PerModel model;
+  // Exactly at MCS 12's sensitivity the naive selection rides a 50%+ PER;
+  // the PER-aware choice must beat half the naive expectation.
+  const McsEntry top = mcs(12);
+  const double naive_expected =
+      (1.0 - model.per(top.sensitivity_dbm, top)) * top.phy_rate_mbps *
+      kTable.mac_efficiency;
+  EXPECT_GT(model.effective_goodput_mbps(kTable, top.sensitivity_dbm),
+            naive_expected);
+}
+
+TEST(PerModel, EffectiveGoodputMonotoneInRss) {
+  const PerModel model;
+  double last = -1.0;
+  for (double rss = -80.0; rss <= -40.0; rss += 1.0) {
+    const double g = model.effective_goodput_mbps(kTable, rss);
+    EXPECT_GE(g, last - 1e-9) << "at " << rss;
+    last = g;
+  }
+}
+
+TEST(PerModel, MulticastBacksOff) {
+  const PerModel model;
+  // At moderate RSS the multicast choice must be no faster than unicast
+  // (it needs extra margin). Tolerance: the unicast expectation carries a
+  // (1 - PER) factor the near-lossless multicast rate does not, which can
+  // flip the comparison by a fraction of a percent.
+  for (double rss = -70.0; rss <= -50.0; rss += 2.0) {
+    const double unicast = model.effective_goodput_mbps(kTable, rss);
+    EXPECT_LE(model.multicast_goodput_mbps(kTable, rss),
+              unicast * 1.005 + 1e-9)
+        << "at " << rss;
+  }
+}
+
+TEST(PerModel, MulticastZeroBelowFloor) {
+  const PerModel model;
+  EXPECT_EQ(model.multicast_goodput_mbps(kTable, -80.0), 0.0);
+}
+
+TEST(PerModel, MulticastReachesTopRateWithMargin) {
+  const PerModel model;
+  EXPECT_GT(model.multicast_goodput_mbps(kTable, -45.0), 2500.0);
+}
+
+}  // namespace
+}  // namespace volcast::mmwave

@@ -1,0 +1,111 @@
+#include "sim/player.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::sim {
+namespace {
+
+BufferedFrame frame(std::size_t index, std::size_t tier = 0) {
+  return {index, tier, 1e6};
+}
+
+TEST(Player, RejectsBadRates) {
+  EXPECT_THROW(Player(0.0), std::invalid_argument);
+  EXPECT_THROW(Player(30.0, 0.0), std::invalid_argument);
+}
+
+TEST(Player, WaitsForStartupBuffer) {
+  Player p(30.0, 30.0, 2);
+  EXPECT_FALSE(p.playing());
+  p.deliver(frame(0));
+  EXPECT_FALSE(p.playing());
+  p.deliver(frame(1));
+  EXPECT_TRUE(p.playing());
+}
+
+TEST(Player, StallsAccumulateBeforeStart) {
+  Player p(30.0);
+  p.advance(0.5);
+  EXPECT_DOUBLE_EQ(p.stall_time_s(), 0.5);
+  EXPECT_EQ(p.played_frames(), 0.0);
+}
+
+TEST(Player, PlaysAtDisplayRate) {
+  Player p(30.0, 30.0, 1);
+  for (std::size_t i = 0; i < 30; ++i) p.deliver(frame(i));
+  p.advance(0.5);
+  EXPECT_DOUBLE_EQ(p.played_frames(), 15.0);
+  EXPECT_EQ(p.buffered_frames(), 15u);
+  EXPECT_DOUBLE_EQ(p.buffer_s(), 0.5);
+}
+
+TEST(Player, DecodeCapLimitsRate) {
+  Player p(60.0, 30.0, 1);  // display wants 60, decoder does 30
+  for (std::size_t i = 0; i < 60; ++i) p.deliver(frame(i));
+  p.advance(1.0);
+  EXPECT_DOUBLE_EQ(p.played_frames(), 30.0);
+}
+
+TEST(Player, UnderrunCausesStallAndRebuffer) {
+  Player p(30.0, 30.0, 2);
+  p.deliver(frame(0));
+  p.deliver(frame(1));
+  p.advance(1.0);  // only 2 frames available, owes 30
+  EXPECT_DOUBLE_EQ(p.played_frames(), 2.0);
+  EXPECT_FALSE(p.playing());
+  EXPECT_GT(p.stall_time_s(), 0.8);
+  // One frame is not enough to restart (startup threshold 2).
+  p.deliver(frame(2));
+  EXPECT_FALSE(p.playing());
+  p.deliver(frame(3));
+  EXPECT_TRUE(p.playing());
+}
+
+TEST(Player, SteadyStreamNeverStallsAfterStart) {
+  Player p(30.0, 30.0, 2);
+  p.deliver(frame(0));
+  p.deliver(frame(1));
+  double stall_after_start = 0.0;
+  for (std::size_t i = 2; i < 92; ++i) {
+    p.deliver(frame(i));
+    const double before = p.stall_time_s();
+    p.advance(1.0 / 30.0);
+    stall_after_start += p.stall_time_s() - before;
+  }
+  EXPECT_DOUBLE_EQ(stall_after_start, 0.0);
+  EXPECT_NEAR(p.played_frames(), 90.0, 2.0);
+}
+
+TEST(Player, MeanTierTracksDeliveredTiers) {
+  Player p(30.0, 30.0, 1);
+  p.deliver(frame(0, 2));
+  p.deliver(frame(1, 0));
+  p.advance(2.0 / 30.0 + 1e-9);
+  EXPECT_NEAR(p.mean_played_tier(), 1.0, 1e-9);
+}
+
+TEST(Player, QualitySwitchesCounted) {
+  Player p(30.0, 30.0, 1);
+  const std::size_t tiers[] = {0, 0, 1, 1, 2, 1};
+  for (std::size_t i = 0; i < 6; ++i) p.deliver(frame(i, tiers[i]));
+  p.advance(1.0);
+  EXPECT_EQ(p.quality_switches(), 3u);
+}
+
+TEST(Player, FractionalAdvanceAccumulates) {
+  Player p(30.0, 30.0, 1);
+  for (std::size_t i = 0; i < 10; ++i) p.deliver(frame(i));
+  // 100 tiny steps of 1/3000 s = 1/30 s total -> exactly one frame.
+  for (int i = 0; i < 100; ++i) p.advance(1.0 / 3000.0);
+  EXPECT_DOUBLE_EQ(p.played_frames(), 1.0);
+}
+
+TEST(Player, ZeroOrNegativeAdvanceIsNoop) {
+  Player p(30.0);
+  p.advance(0.0);
+  p.advance(-1.0);
+  EXPECT_DOUBLE_EQ(p.stall_time_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace volcast::sim

@@ -1,0 +1,54 @@
+#include "pointcloud/point_cloud.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::vv {
+namespace {
+
+TEST(PointCloud, EmptyState) {
+  PointCloud cloud;
+  EXPECT_TRUE(cloud.empty());
+  EXPECT_EQ(cloud.size(), 0u);
+  EXPECT_FALSE(cloud.bounds().valid());
+  EXPECT_EQ(cloud.raw_size_bytes(), 0u);
+}
+
+TEST(PointCloud, AddAndBounds) {
+  PointCloud cloud;
+  cloud.add({{1, 2, 3}, 255, 0, 0});
+  cloud.add({{-1, 0, 5}, 0, 255, 0});
+  EXPECT_EQ(cloud.size(), 2u);
+  const auto box = cloud.bounds();
+  EXPECT_EQ(box.lo, geo::Vec3(-1, 0, 3));
+  EXPECT_EQ(box.hi, geo::Vec3(1, 2, 5));
+}
+
+TEST(PointCloud, RawSizeIs15BytesPerPoint) {
+  PointCloud cloud;
+  for (int i = 0; i < 10; ++i) cloud.add({});
+  EXPECT_EQ(cloud.raw_size_bytes(), 150u);
+}
+
+TEST(PointCloud, ConstructFromVector) {
+  std::vector<Point> pts(5);
+  PointCloud cloud(std::move(pts));
+  EXPECT_EQ(cloud.size(), 5u);
+}
+
+TEST(PointCloud, ClearEmpties) {
+  PointCloud cloud;
+  cloud.add({});
+  cloud.clear();
+  EXPECT_TRUE(cloud.empty());
+}
+
+TEST(PointCloud, PointEquality) {
+  const Point a{{1, 2, 3}, 10, 20, 30};
+  Point b = a;
+  EXPECT_EQ(a, b);
+  b.r = 11;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace volcast::vv

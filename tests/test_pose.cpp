@@ -1,0 +1,88 @@
+#include "geometry/pose.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace volcast::geo {
+namespace {
+
+TEST(Pose, DefaultAxes) {
+  const Pose p;
+  EXPECT_EQ(p.forward(), Vec3(1, 0, 0));
+  EXPECT_EQ(p.up(), Vec3(0, 0, 1));
+  EXPECT_EQ(p.left(), Vec3(0, 1, 0));
+}
+
+TEST(Pose, LookAtFacesTarget) {
+  const Pose p = Pose::look_at({1, 2, 3}, {4, 2, 3});
+  const Vec3 expected = Vec3{1, 0, 0};
+  EXPECT_NEAR(p.forward().dot(expected), 1.0, 1e-12);
+  EXPECT_EQ(p.position, Vec3(1, 2, 3));
+}
+
+TEST(Pose, LookAtArbitraryDirection) {
+  const Vec3 eye{0, 0, 1.5};
+  const Vec3 target{2, -1, 0.5};
+  const Pose p = Pose::look_at(eye, target);
+  const Vec3 dir = (target - eye).normalized();
+  EXPECT_NEAR(p.forward().dot(dir), 1.0, 1e-9);
+}
+
+TEST(Pose, AxesStayOrthonormal) {
+  const Pose p = Pose::look_at({1, 1, 1}, {-2, 3, 0.5});
+  EXPECT_NEAR(p.forward().norm(), 1.0, 1e-9);
+  EXPECT_NEAR(p.up().norm(), 1.0, 1e-9);
+  EXPECT_NEAR(p.forward().dot(p.up()), 0.0, 1e-9);
+  EXPECT_NEAR(p.forward().dot(p.left()), 0.0, 1e-9);
+  EXPECT_NEAR(p.up().dot(p.left()), 0.0, 1e-9);
+}
+
+TEST(Pose, DistanceCombinesTranslationAndRotation) {
+  Pose a;
+  Pose b;
+  EXPECT_DOUBLE_EQ(a.distance(b), 0.0);
+  b.position = {3, 4, 0};
+  EXPECT_DOUBLE_EQ(a.distance(b), 5.0);
+  b.orientation = Quat::from_axis_angle({0, 0, 1}, 0.5);
+  EXPECT_NEAR(a.distance(b), 5.5, 1e-9);
+}
+
+TEST(Pose, DistanceSymmetric) {
+  const Pose a = Pose::look_at({0, 0, 1}, {1, 1, 1});
+  const Pose b = Pose::look_at({2, -1, 1.5}, {0, 0, 1});
+  EXPECT_NEAR(a.distance(b), b.distance(a), 1e-12);
+}
+
+TEST(Pose, InterpolateEndpoints) {
+  const Pose a = Pose::look_at({0, 0, 0}, {1, 0, 0});
+  const Pose b = Pose::look_at({2, 2, 2}, {2, 5, 2});
+  const Pose at0 = interpolate(a, b, 0.0);
+  const Pose at1 = interpolate(a, b, 1.0);
+  EXPECT_NEAR(at0.distance(a), 0.0, 1e-9);
+  EXPECT_NEAR(at1.distance(b), 0.0, 1e-9);
+}
+
+TEST(Pose, InterpolateMidpointPosition) {
+  Pose a;
+  Pose b;
+  b.position = {4, 0, 0};
+  const Pose mid = interpolate(a, b, 0.5);
+  EXPECT_EQ(mid.position, Vec3(2, 0, 0));
+}
+
+TEST(Pose, InterpolateRotationMonotone) {
+  Pose a;
+  Pose b;
+  b.orientation = Quat::from_axis_angle({0, 0, 1}, 1.0);
+  double last = -1.0;
+  for (double t = 0.0; t <= 1.0; t += 0.1) {
+    const double angle =
+        interpolate(a, b, t).orientation.angular_distance(a.orientation);
+    EXPECT_GE(angle, last - 1e-9);
+    last = angle;
+  }
+}
+
+}  // namespace
+}  // namespace volcast::geo

@@ -1,0 +1,133 @@
+#include "geometry/quat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace volcast::geo {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Quat, IdentityRotatesNothing) {
+  const Quat q{};
+  const Vec3 v{1, 2, 3};
+  const Vec3 r = q.rotate(v);
+  EXPECT_NEAR(r.x, 1, 1e-12);
+  EXPECT_NEAR(r.y, 2, 1e-12);
+  EXPECT_NEAR(r.z, 3, 1e-12);
+}
+
+TEST(Quat, AxisAngleQuarterTurn) {
+  const Quat q = Quat::from_axis_angle({0, 0, 1}, kPi / 2);
+  const Vec3 r = q.rotate({1, 0, 0});
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_NEAR(r.z, 0.0, 1e-12);
+}
+
+TEST(Quat, RotationPreservesLength) {
+  const Quat q = Quat::from_axis_angle({1, 2, 3}, 1.234);
+  const Vec3 v{0.3, -0.7, 0.9};
+  EXPECT_NEAR(q.rotate(v).norm(), v.norm(), 1e-12);
+}
+
+TEST(Quat, CompositionMatchesSequentialRotation) {
+  const Quat a = Quat::from_axis_angle({0, 0, 1}, 0.4);
+  const Quat b = Quat::from_axis_angle({0, 1, 0}, -0.8);
+  const Vec3 v{1, 2, 3};
+  const Vec3 seq = a.rotate(b.rotate(v));
+  const Vec3 comp = (a * b).rotate(v);
+  EXPECT_NEAR(seq.x, comp.x, 1e-12);
+  EXPECT_NEAR(seq.y, comp.y, 1e-12);
+  EXPECT_NEAR(seq.z, comp.z, 1e-12);
+}
+
+TEST(Quat, ConjugateInverts) {
+  const Quat q = Quat::from_axis_angle({0.5, 0.5, 0.7}, 0.9);
+  const Vec3 v{1, 0, -2};
+  const Vec3 back = q.conjugate().rotate(q.rotate(v));
+  EXPECT_NEAR(back.x, v.x, 1e-12);
+  EXPECT_NEAR(back.y, v.y, 1e-12);
+  EXPECT_NEAR(back.z, v.z, 1e-12);
+}
+
+TEST(Quat, BetweenAlignsVectors) {
+  const Vec3 from{1, 0, 0};
+  const Vec3 to{0.3, 0.4, 0.866};
+  const Quat q = Quat::between(from, to);
+  const Vec3 r = q.rotate(from);
+  const Vec3 t = to.normalized();
+  EXPECT_NEAR(r.x, t.x, 1e-9);
+  EXPECT_NEAR(r.y, t.y, 1e-9);
+  EXPECT_NEAR(r.z, t.z, 1e-9);
+}
+
+TEST(Quat, BetweenIdenticalIsIdentity) {
+  const Quat q = Quat::between({1, 2, 3}, {2, 4, 6});
+  EXPECT_NEAR(q.angle(), 0.0, 1e-9);
+}
+
+TEST(Quat, BetweenOppositeIsHalfTurn) {
+  const Quat q = Quat::between({1, 0, 0}, {-1, 0, 0});
+  EXPECT_NEAR(q.angle(), kPi, 1e-9);
+  const Vec3 r = q.rotate({1, 0, 0});
+  EXPECT_NEAR(r.x, -1.0, 1e-9);
+}
+
+TEST(Quat, FromEulerYawOnly) {
+  const Quat q = Quat::from_euler(kPi / 2, 0, 0);
+  const Vec3 r = q.rotate({1, 0, 0});
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Quat, AngularDistanceSymmetricAndZeroOnSelf) {
+  const Quat a = Quat::from_axis_angle({0, 0, 1}, 0.3);
+  const Quat b = Quat::from_axis_angle({0, 1, 0}, 1.1);
+  EXPECT_NEAR(a.angular_distance(a), 0.0, 1e-7);
+  EXPECT_NEAR(a.angular_distance(b), b.angular_distance(a), 1e-12);
+}
+
+TEST(Quat, AngularDistanceDoubleCoverInvariant) {
+  const Quat a = Quat::from_axis_angle({0, 0, 1}, 0.3);
+  const Quat neg{-a.w, -a.x, -a.y, -a.z};  // same rotation
+  EXPECT_NEAR(a.angular_distance(neg), 0.0, 1e-7);
+}
+
+TEST(Quat, SlerpEndpoints) {
+  const Quat a = Quat::from_axis_angle({0, 0, 1}, 0.2);
+  const Quat b = Quat::from_axis_angle({0, 0, 1}, 1.4);
+  EXPECT_NEAR(slerp(a, b, 0.0).angular_distance(a), 0.0, 1e-9);
+  EXPECT_NEAR(slerp(a, b, 1.0).angular_distance(b), 0.0, 1e-9);
+}
+
+TEST(Quat, SlerpHalfwaySameAxis) {
+  const Quat a{};
+  const Quat b = Quat::from_axis_angle({0, 0, 1}, 1.0);
+  const Quat mid = slerp(a, b, 0.5);
+  EXPECT_NEAR(mid.angle(), 0.5, 1e-9);
+}
+
+TEST(Quat, SlerpTakesShortPath) {
+  const Quat a = Quat::from_axis_angle({0, 0, 1}, 0.1);
+  const Quat b = Quat::from_axis_angle({0, 0, 1}, -0.1);
+  const Quat mid = slerp(a, b, 0.5);
+  EXPECT_NEAR(mid.angle(), 0.0, 1e-9);
+}
+
+class QuatNormalization : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuatNormalization, UnitNormAfterManyCompositions) {
+  // Property: repeated composition + normalization keeps unit norm.
+  const Quat step = Quat::from_axis_angle({0.2, 0.5, 0.84}, GetParam());
+  Quat q{};
+  for (int i = 0; i < 200; ++i) q = (step * q).normalized();
+  EXPECT_NEAR(q.norm(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, QuatNormalization,
+                         ::testing::Values(0.0, 0.01, 0.5, 1.0, 2.0, 3.1));
+
+}  // namespace
+}  // namespace volcast::geo

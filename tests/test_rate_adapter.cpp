@@ -1,0 +1,158 @@
+#include "core/rate_adapter.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::core {
+namespace {
+
+AdaptationInput base_input() {
+  AdaptationInput in;
+  in.buffer_s = 0.3;
+  in.predicted_mbps = 500.0;
+  in.demand_mbps[0] = 100.0;
+  in.demand_mbps[1] = 200.0;
+  in.demand_mbps[2] = 400.0;
+  in.tier_count = 3;
+  in.current_tier = 1;
+  return in;
+}
+
+TEST(RateAdapter, NonePinsTier) {
+  RateAdapterConfig config;
+  config.policy = AdaptationPolicy::kNone;
+  const RateAdapter adapter(config);
+  AdaptationInput in = base_input();
+  in.buffer_s = 0.0;
+  in.predicted_mbps = 1.0;
+  const auto d = adapter.decide(in);
+  EXPECT_EQ(d.tier, 1u);
+  EXPECT_FALSE(d.prefetch);
+}
+
+TEST(RateAdapter, BufferOnlyPanicsAtLowBuffer) {
+  RateAdapterConfig config;
+  config.policy = AdaptationPolicy::kBufferOnly;
+  const RateAdapter adapter(config);
+  AdaptationInput in = base_input();
+  in.current_tier = 2;
+  in.buffer_s = 0.05;
+  const auto d = adapter.decide(in);
+  EXPECT_EQ(d.tier, 0u);
+  EXPECT_TRUE(d.prefetch);
+}
+
+TEST(RateAdapter, BufferOnlyStepsUpWhenComfortable) {
+  RateAdapterConfig config;
+  config.policy = AdaptationPolicy::kBufferOnly;
+  const RateAdapter adapter(config);
+  AdaptationInput in = base_input();
+  in.buffer_s = 1.0;
+  in.current_tier = 1;
+  EXPECT_EQ(adapter.decide(in).tier, 2u);
+  in.current_tier = 2;  // already at top: stays
+  EXPECT_EQ(adapter.decide(in).tier, 2u);
+}
+
+TEST(RateAdapter, BufferOnlyHoldsInMidRange) {
+  RateAdapterConfig config;
+  config.policy = AdaptationPolicy::kBufferOnly;
+  const RateAdapter adapter(config);
+  AdaptationInput in = base_input();
+  in.buffer_s = 0.3;
+  EXPECT_EQ(adapter.decide(in).tier, 1u);
+}
+
+TEST(RateAdapter, CrossLayerDowngradesToAffordable) {
+  const RateAdapter adapter;
+  AdaptationInput in = base_input();
+  in.current_tier = 2;
+  in.predicted_mbps = 150.0;  // affords only tier 0 with headroom
+  EXPECT_EQ(adapter.decide(in).tier, 0u);
+}
+
+TEST(RateAdapter, CrossLayerUpgradesOneStepWithHealthyBuffer) {
+  const RateAdapter adapter;
+  AdaptationInput in = base_input();
+  in.current_tier = 0;
+  in.predicted_mbps = 5000.0;
+  in.buffer_s = 1.0;
+  EXPECT_EQ(adapter.decide(in).tier, 1u);  // one step, not straight to 2
+}
+
+TEST(RateAdapter, CrossLayerHoldsUpgradeOnThinBuffer) {
+  RateAdapterConfig config;
+  config.high_buffer_s = 0.5;
+  const RateAdapter adapter(config);
+  AdaptationInput in = base_input();
+  in.current_tier = 0;
+  in.predicted_mbps = 5000.0;
+  in.buffer_s = 0.2;
+  EXPECT_EQ(adapter.decide(in).tier, 0u);
+}
+
+TEST(RateAdapter, CrossLayerRespectsHeadroom) {
+  RateAdapterConfig config;
+  config.headroom = 1.5;
+  const RateAdapter adapter(config);
+  AdaptationInput in = base_input();
+  in.current_tier = 2;
+  in.predicted_mbps = 450.0;  // 400 * 1.5 = 600 > 450: tier 2 unaffordable
+  EXPECT_LT(adapter.decide(in).tier, 2u);
+}
+
+TEST(RateAdapter, BlockageForecastTriggersProactiveActions) {
+  const RateAdapter adapter;
+  AdaptationInput in = base_input();
+  in.blockage_forecast = true;
+  const auto d = adapter.decide(in);
+  EXPECT_TRUE(d.prefetch);
+  EXPECT_TRUE(d.switch_beam);
+  EXPECT_TRUE(d.regroup);
+}
+
+TEST(RateAdapter, PanicFloorsToLowestTier) {
+  const RateAdapter adapter;
+  AdaptationInput in = base_input();
+  in.buffer_s = 0.01;
+  in.current_tier = 2;
+  const auto d = adapter.decide(in);
+  EXPECT_EQ(d.tier, 0u);
+  EXPECT_TRUE(d.prefetch);
+}
+
+TEST(RateAdapter, TierNeverExceedsTierCount) {
+  const RateAdapter adapter;
+  AdaptationInput in = base_input();
+  in.tier_count = 2;
+  in.current_tier = 5;  // corrupt input: clamp, don't crash
+  EXPECT_LE(adapter.decide(in).tier, 1u);
+}
+
+TEST(RateAdapter, PolicyNames) {
+  EXPECT_STREQ(to_string(AdaptationPolicy::kNone), "none");
+  EXPECT_STREQ(to_string(AdaptationPolicy::kBufferOnly), "buffer-only");
+  EXPECT_STREQ(to_string(AdaptationPolicy::kCrossLayer), "cross-layer");
+}
+
+class HeadroomSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeadroomSweep, AffordableTierMonotoneInBandwidth) {
+  RateAdapterConfig config;
+  config.headroom = GetParam();
+  const RateAdapter adapter(config);
+  std::size_t last = 0;
+  for (double bw = 50.0; bw <= 2000.0; bw *= 1.5) {
+    AdaptationInput in = base_input();
+    in.current_tier = 2;
+    in.predicted_mbps = bw;
+    const auto tier = adapter.decide(in).tier;
+    EXPECT_GE(tier, last);
+    last = tier;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Headrooms, HeadroomSweep,
+                         ::testing::Values(1.0, 1.15, 1.3, 1.5, 2.0));
+
+}  // namespace
+}  // namespace volcast::core

@@ -1,0 +1,94 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace volcast {
+namespace {
+
+TEST(RingBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, FillsUpToCapacity) {
+  RingBuffer<int> buf(3);
+  EXPECT_TRUE(buf.empty());
+  buf.push(1);
+  buf.push(2);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_FALSE(buf.full());
+  buf.push(3);
+  EXPECT_TRUE(buf.full());
+  EXPECT_EQ(buf.capacity(), 3u);
+}
+
+TEST(RingBuffer, OldestFirstIndexing) {
+  RingBuffer<int> buf(3);
+  buf.push(10);
+  buf.push(20);
+  buf.push(30);
+  EXPECT_EQ(buf[0], 10);
+  EXPECT_EQ(buf[1], 20);
+  EXPECT_EQ(buf[2], 30);
+  EXPECT_EQ(buf.front(), 10);
+  EXPECT_EQ(buf.back(), 30);
+}
+
+TEST(RingBuffer, OverwritesOldest) {
+  RingBuffer<int> buf(3);
+  for (int i = 1; i <= 5; ++i) buf.push(i);
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf[0], 3);
+  EXPECT_EQ(buf[1], 4);
+  EXPECT_EQ(buf[2], 5);
+}
+
+TEST(RingBuffer, OutOfRangeThrows) {
+  RingBuffer<int> buf(2);
+  buf.push(1);
+  EXPECT_THROW((void)buf[1], std::out_of_range);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> buf(2);
+  buf.push(1);
+  buf.push(2);
+  buf.push(3);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  buf.push(7);
+  EXPECT_EQ(buf[0], 7);
+}
+
+TEST(RingBuffer, ToVectorPreservesOrder) {
+  RingBuffer<std::string> buf(3);
+  buf.push("a");
+  buf.push("b");
+  buf.push("c");
+  buf.push("d");
+  const auto v = buf.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "b");
+  EXPECT_EQ(v[2], "d");
+}
+
+class RingBufferWrap : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingBufferWrap, AlwaysHoldsLastKElements) {
+  // Property: after n pushes, contents are exactly the last min(n, cap)
+  // values in order.
+  const int pushes = GetParam();
+  RingBuffer<int> buf(5);
+  for (int i = 0; i < pushes; ++i) buf.push(i);
+  const int expect_size = std::min(pushes, 5);
+  ASSERT_EQ(buf.size(), static_cast<std::size_t>(expect_size));
+  for (int i = 0; i < expect_size; ++i)
+    EXPECT_EQ(buf[static_cast<std::size_t>(i)], pushes - expect_size + i);
+}
+
+INSTANTIATE_TEST_SUITE_P(PushCounts, RingBufferWrap,
+                         ::testing::Values(1, 4, 5, 6, 10, 23, 100));
+
+}  // namespace
+}  // namespace volcast

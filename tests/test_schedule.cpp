@@ -1,0 +1,180 @@
+#include "mac/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::mac {
+namespace {
+
+UserDemand demand(std::size_t user, double total_mbit, double rate_mbps) {
+  return {user, total_mbit * 1e6, 0.0, rate_mbps};
+}
+
+TEST(GroupPlan, EmptyIsZeroTime) {
+  const GroupPlan plan;
+  EXPECT_EQ(plan.transmit_time_s(), 0.0);
+  EXPECT_EQ(plan.unicast_time_s(), 0.0);
+}
+
+TEST(GroupPlan, SingletonIsUnicast) {
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 10.0, 1000.0));  // 10 Mbit at 1 Gbps
+  EXPECT_NEAR(plan.transmit_time_s(), 0.010, 1e-12);
+  EXPECT_NEAR(plan.unicast_time_s(), 0.010, 1e-12);
+  EXPECT_NEAR(plan.airtime_saving_s(), 0.0, 1e-12);
+}
+
+TEST(GroupPlan, PaperFormulaTwoUsers) {
+  // T_m = S_m/r_m + sum (S_i - S_m)/r_i.
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 10.0, 1000.0));
+  plan.members.push_back(demand(1, 8.0, 800.0));
+  plan.group_overlap_bits = 6.0 * 1e6;
+  plan.multicast_rate_mbps = 600.0;
+  const double expected =
+      6.0 / 600.0 + (10.0 - 6.0) / 1000.0 + (8.0 - 6.0) / 800.0;
+  EXPECT_NEAR(plan.transmit_time_s(), expected, 1e-12);
+}
+
+TEST(GroupPlan, SavingPositiveWhenMulticastRateHigh) {
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 10.0, 1000.0));
+  plan.members.push_back(demand(1, 10.0, 1000.0));
+  plan.group_overlap_bits = 8.0 * 1e6;
+  plan.multicast_rate_mbps = 900.0;
+  EXPECT_GT(plan.airtime_saving_s(), 0.0);
+}
+
+TEST(GroupPlan, SavingNegativeWhenMulticastRateLow) {
+  // The paper's warning: a bad common MCS makes multicast worse than
+  // unicast.
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 10.0, 1000.0));
+  plan.members.push_back(demand(1, 10.0, 1000.0));
+  plan.group_overlap_bits = 8.0 * 1e6;
+  plan.multicast_rate_mbps = 300.0;
+  EXPECT_LT(plan.airtime_saving_s(), 0.0);
+}
+
+TEST(GroupPlan, ZeroMulticastRateFallsBackToUnicast) {
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 10.0, 1000.0));
+  plan.members.push_back(demand(1, 10.0, 1000.0));
+  plan.group_overlap_bits = 8.0 * 1e6;
+  plan.multicast_rate_mbps = 0.0;
+  EXPECT_NEAR(plan.transmit_time_s(), plan.unicast_time_s(), 1e-12);
+}
+
+TEST(GroupPlan, OverlapLargerThanDemandClampsResidual) {
+  // A member whose own tier needs less than the group blob: residual 0,
+  // never negative.
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 4.0, 1000.0));
+  plan.members.push_back(demand(1, 10.0, 1000.0));
+  plan.group_overlap_bits = 6.0 * 1e6;
+  plan.multicast_rate_mbps = 600.0;
+  const double expected = 6.0 / 600.0 + 0.0 + (10.0 - 6.0) / 1000.0;
+  EXPECT_NEAR(plan.transmit_time_s(), expected, 1e-12);
+}
+
+TEST(GroupPlan, UndeliverableResidualIsInfeasible) {
+  GroupPlan plan;
+  plan.members.push_back({0, 10e6, 0.0, 0.0});  // no unicast rate
+  plan.members.push_back(demand(1, 10.0, 1000.0));
+  plan.group_overlap_bits = 5e6;
+  plan.multicast_rate_mbps = 500.0;
+  EXPECT_GE(plan.transmit_time_s(), 1e8);
+}
+
+TEST(FrameSchedule, AirtimeSumsGroups) {
+  FrameSchedule schedule;
+  GroupPlan a;
+  a.members.push_back(demand(0, 10.0, 1000.0));
+  GroupPlan b;
+  b.members.push_back(demand(1, 20.0, 1000.0));
+  schedule.groups = {a, b};
+  EXPECT_NEAR(schedule.airtime_s(), 0.030, 1e-12);
+}
+
+TEST(FrameSchedule, FeasibilityAgainstFrameRate) {
+  FrameSchedule schedule;
+  GroupPlan a;
+  a.members.push_back(demand(0, 30.0, 1000.0));  // 30 ms
+  schedule.groups = {a};
+  EXPECT_TRUE(schedule.feasible(30.0));  // 33.3 ms budget
+  EXPECT_FALSE(schedule.feasible(60.0));
+  EXPECT_FALSE(schedule.feasible(0.0));
+}
+
+TEST(FrameSchedule, SustainableFpsCapped) {
+  FrameSchedule schedule;
+  GroupPlan a;
+  a.members.push_back(demand(0, 1.0, 1000.0));  // 1 ms -> 1000 fps raw
+  schedule.groups = {a};
+  EXPECT_DOUBLE_EQ(schedule.sustainable_fps(30.0), 30.0);
+  EXPECT_DOUBLE_EQ(schedule.sustainable_fps(2000.0), 1000.0);
+}
+
+TEST(FrameSchedule, EmptyScheduleIsFree) {
+  const FrameSchedule schedule;
+  EXPECT_EQ(schedule.airtime_s(), 0.0);
+  EXPECT_TRUE(schedule.feasible(30.0));
+  EXPECT_DOUBLE_EQ(schedule.sustainable_fps(30.0), 30.0);
+}
+
+
+TEST(MacOverheads, PerBurstCostsAdd) {
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 10.0, 1000.0));
+  plan.members.push_back(demand(1, 10.0, 1000.0));
+  plan.group_overlap_bits = 6.0 * 1e6;
+  plan.multicast_rate_mbps = 600.0;
+  const MacOverheads ideal{0.0, 0.0};
+  const MacOverheads real{80e-6, 10e-6};
+  // One multicast burst + two residual bursts = 3 x 90 us.
+  EXPECT_NEAR(plan.transmit_time_s(real) - plan.transmit_time_s(ideal),
+              3.0 * 90e-6, 1e-12);
+  // Unicast: two bursts.
+  EXPECT_NEAR(plan.unicast_time_s(real) - plan.unicast_time_s(ideal),
+              2.0 * 90e-6, 1e-12);
+}
+
+TEST(MacOverheads, NoResidualBurstWhenFullyOverlapped) {
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 6.0, 1000.0));
+  plan.members.push_back(demand(1, 6.0, 1000.0));
+  plan.group_overlap_bits = 6.0 * 1e6;  // everything multicast
+  plan.multicast_rate_mbps = 600.0;
+  const MacOverheads real{80e-6, 10e-6};
+  // Only the single multicast burst pays overhead.
+  EXPECT_NEAR(plan.transmit_time_s(real),
+              6.0 / 600.0 + 90e-6, 1e-12);
+}
+
+TEST(MacOverheads, DefaultAirtimeIsIdealMac) {
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 10.0, 1000.0));
+  FrameSchedule schedule;
+  schedule.groups = {plan};
+  EXPECT_NEAR(schedule.airtime_s(), 0.010, 1e-12);
+  EXPECT_GT(schedule.airtime_s({80e-6, 10e-6}), 0.010);
+}
+
+class OverlapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverlapSweep, SavingGrowsWithOverlap) {
+  // Property: with equal rates, airtime saving is monotone in S_m.
+  const double overlap_mbit = GetParam();
+  GroupPlan plan;
+  plan.members.push_back(demand(0, 10.0, 1000.0));
+  plan.members.push_back(demand(1, 10.0, 1000.0));
+  plan.multicast_rate_mbps = 1000.0;
+  plan.group_overlap_bits = overlap_mbit * 1e6;
+  // saving = S_m / r (one copy instead of two).
+  EXPECT_NEAR(plan.airtime_saving_s(), overlap_mbit / 1000.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, OverlapSweep,
+                         ::testing::Values(0.0, 1.0, 2.5, 5.0, 7.5, 10.0));
+
+}  // namespace
+}  // namespace volcast::mac

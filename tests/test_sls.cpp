@@ -1,0 +1,53 @@
+#include "mmwave/sls.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::mmwave {
+namespace {
+
+TEST(Sls, OnAirScalesLinearlyWithSectors) {
+  const SlsProcedure sls;
+  const double at20 = sls.on_air_s(20);
+  const double at40 = sls.on_air_s(40);
+  // Twice the sectors ~ twice the SSW frames (feedback is constant).
+  EXPECT_NEAR(at40 - sls.timing().feedback_s,
+              2.0 * (at20 - sls.timing().feedback_s), 1e-12);
+}
+
+TEST(Sls, OutageInPaperBand) {
+  // "a delay of up to 5 to 20 ms" for re-searching beams.
+  const SlsProcedure sls;
+  for (std::size_t sectors : {16u, 32u, 39u, 64u}) {
+    const double ms = sls.outage_s(sectors) * 1e3;
+    EXPECT_GT(ms, 4.0) << sectors << " sectors";
+    EXPECT_LT(ms, 30.0) << sectors << " sectors";
+  }
+}
+
+TEST(Sls, OutageExceedsOnAir) {
+  const SlsProcedure sls;
+  EXPECT_GT(sls.outage_s(39), sls.on_air_s(39));
+}
+
+TEST(Sls, CodebookOverloadMatchesSectorCount) {
+  const geo::Pose pose;
+  const PhasedArray array({}, pose, 60.48e9);
+  const Codebook codebook(array);
+  const SlsProcedure sls;
+  EXPECT_DOUBLE_EQ(sls.outage_s(codebook), sls.outage_s(codebook.size()));
+}
+
+TEST(Sls, CustomTimingRespected) {
+  SlsTiming timing;
+  timing.mac_stretch = 1.0;
+  const SlsProcedure sls(timing);
+  EXPECT_DOUBLE_EQ(sls.outage_s(10), sls.on_air_s(10));
+}
+
+TEST(Sls, ZeroSectorsCostsOnlyFeedback) {
+  const SlsProcedure sls;
+  EXPECT_DOUBLE_EQ(sls.on_air_s(0), sls.timing().feedback_s);
+}
+
+}  // namespace
+}  // namespace volcast::mmwave

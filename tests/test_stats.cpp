@@ -1,0 +1,171 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace volcast {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i < 20 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(EmpiricalDistribution, PercentilesInterpolate) {
+  EmpiricalDistribution d;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(d.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(d.median(), 30.0);
+  EXPECT_DOUBLE_EQ(d.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(d.percentile(12.5), 15.0);  // interpolated
+}
+
+TEST(EmpiricalDistribution, PercentileOnEmptyThrows) {
+  EmpiricalDistribution d;
+  EXPECT_THROW((void)d.percentile(50), std::logic_error);
+}
+
+TEST(EmpiricalDistribution, CdfMatchesDefinition) {
+  EmpiricalDistribution d;
+  for (double x : {1.0, 2.0, 2.0, 3.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(99.0), 1.0);
+}
+
+TEST(EmpiricalDistribution, AddAllAndSorted) {
+  EmpiricalDistribution d;
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  d.add_all(xs);
+  const auto sorted = d.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 3.0);
+  EXPECT_NEAR(d.mean(), 2.0, 1e-12);
+}
+
+TEST(EmpiricalDistribution, FormatCdfHasRequestedRows) {
+  EmpiricalDistribution d;
+  for (int i = 0; i < 100; ++i) d.add(i);
+  const std::string text = d.format_cdf(5);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.5 * i - 1.0);
+  }
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.at(20.0), 49.0, 1e-9);
+}
+
+TEST(LinearFit, DegenerateXGivesFlatFit) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(LinearFit, EmptyInput) {
+  const LinearFit fit = fit_line({}, {});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.intercept, 0.0);
+}
+
+TEST(HarmonicMean, KnownValue) {
+  const std::vector<double> xs{1.0, 2.0, 4.0};
+  EXPECT_NEAR(harmonic_mean(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(HarmonicMean, DominatedBysmallest) {
+  const std::vector<double> xs{1000.0, 1000.0, 1.0};
+  EXPECT_LT(harmonic_mean(xs), 3.1);
+}
+
+TEST(HarmonicMean, NonPositiveSampleYieldsZero) {
+  const std::vector<double> xs{1.0, 0.0, 2.0};
+  EXPECT_EQ(harmonic_mean(xs), 0.0);
+  EXPECT_EQ(harmonic_mean({}), 0.0);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, MonotonicInP) {
+  EmpiricalDistribution d;
+  for (int i = 0; i < 1000; ++i) d.add(std::sin(i * 0.1) * i);
+  const double p = GetParam();
+  EXPECT_LE(d.percentile(p), d.percentile(std::min(p + 10.0, 100.0)) + 1e-12);
+  EXPECT_GE(d.cdf(d.percentile(p)) + 1e-9, p / 100.0 * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, PercentileSweep,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 90.0,
+                                           99.0, 100.0));
+
+}  // namespace
+}  // namespace volcast

@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast {
+namespace {
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable t;
+  t.header({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  const std::string out = t.render();
+  // Each line has the same prefix width for the first column.
+  const auto first_newline = out.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(AsciiTable, HeaderRuleSeparatesRows) {
+  AsciiTable t;
+  t.header({"a"});
+  t.row({"b"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(AsciiTable, NoHeaderNoRule) {
+  AsciiTable t;
+  t.row({"b", "c"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.find('-'), std::string::npos);
+}
+
+TEST(AsciiTable, NumFormatsPrecision) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(30.0, 0), "30");
+  EXPECT_EQ(AsciiTable::num(21.55, 1), "21.6");
+}
+
+TEST(AsciiTable, RaggedRowsDoNotCrash) {
+  AsciiTable t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  t.row({"1", "2", "3", "4"});
+  const std::string out = t.render();
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiTable, EmptyTableRendersEmpty) {
+  AsciiTable t;
+  EXPECT_TRUE(t.render().empty());
+}
+
+}  // namespace
+}  // namespace volcast

@@ -1,0 +1,65 @@
+#include "core/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "mmwave/link.h"
+
+namespace volcast::core {
+namespace {
+
+TEST(Testbed, DefaultSetupMatchesPaperRoom) {
+  const Testbed tb;
+  EXPECT_DOUBLE_EQ(tb.config().room.width_m, 8.0);
+  EXPECT_DOUBLE_EQ(tb.config().room.length_m, 6.0);
+  EXPECT_EQ(tb.ap().element_count(), 32u);  // 8x4 "8-patch" array
+  EXPECT_GT(tb.codebook().size(), 10u);
+}
+
+TEST(Testbed, ApLooksIntoTheRoom) {
+  const Testbed tb;
+  const geo::Vec3 fwd = tb.ap().pose().forward();
+  EXPECT_GT(fwd.y, 0.5);  // from the front wall toward the room
+  EXPECT_LT(fwd.z, 0.0);  // tilted down from the ceiling mount
+}
+
+TEST(Testbed, ToRoomShiftsByContentFloor) {
+  const Testbed tb;
+  const geo::Vec3 local{1.0, -0.5, 1.6};
+  const geo::Vec3 room = tb.to_room(local);
+  EXPECT_EQ(room, local + tb.config().content_floor);
+  geo::Pose pose;
+  pose.position = local;
+  EXPECT_EQ(tb.to_room(pose).position, room);
+}
+
+TEST(Testbed, ViewingPositionsGetMcs1OrBetter) {
+  // The calibrated budget must support the paper's -68 dBm anchor over the
+  // audience area.
+  const Testbed tb;
+  int usable = 0;
+  int total = 0;
+  for (double angle = -1.0; angle <= 1.0; angle += 0.25) {
+    for (double radius = 1.2; radius <= 2.8; radius += 0.4) {
+      const geo::Vec3 local{radius * std::cos(angle),
+                            radius * std::sin(angle), 1.5};
+      const geo::Vec3 pos = tb.to_room(local);
+      const double rss = mmwave::best_beam_rss_dbm(
+          tb.ap(), tb.codebook(), tb.channel(), pos, {}, tb.budget());
+      ++total;
+      if (rss >= -68.0) ++usable;
+    }
+  }
+  EXPECT_GT(static_cast<double>(usable) / total, 0.9);
+}
+
+TEST(Testbed, CustomConfigRespected) {
+  TestbedConfig config;
+  config.room.width_m = 12.0;
+  config.ap_position = {6.0, 0.2, 2.8};
+  const Testbed tb(config);
+  EXPECT_DOUBLE_EQ(tb.channel().room().width_m, 12.0);
+  EXPECT_EQ(tb.ap().pose().position, geo::Vec3(6.0, 0.2, 2.8));
+}
+
+}  // namespace
+}  // namespace volcast::core

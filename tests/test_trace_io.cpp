@@ -1,0 +1,90 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/user_study.h"
+
+namespace volcast::trace {
+namespace {
+
+Trace sample_trace() {
+  Rng rng(1);
+  const auto params =
+      MobilityParams::for_device(DeviceType::kHeadset, rng, {0, 0, 1.1}, 0.3);
+  return generate_trace(params, 5, 50, 30.0);
+}
+
+TEST(TraceIo, RoundTripsExactly) {
+  const Trace original = sample_trace();
+  const Trace back = trace_from_string(trace_to_string(original));
+  EXPECT_EQ(back.device, original.device);
+  EXPECT_DOUBLE_EQ(back.sample_rate_hz, original.sample_rate_hz);
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back.poses[i].position, original.poses[i].position);
+    EXPECT_DOUBLE_EQ(back.poses[i].orientation.w,
+                     original.poses[i].orientation.w);
+  }
+}
+
+TEST(TraceIo, SmartphoneDeviceTagRoundTrips) {
+  Trace t = sample_trace();
+  t.device = DeviceType::kSmartphone;
+  EXPECT_EQ(trace_from_string(trace_to_string(t)).device,
+            DeviceType::kSmartphone);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace t;
+  t.device = DeviceType::kHeadset;
+  t.sample_rate_hz = 30.0;
+  const Trace back = trace_from_string(trace_to_string(t));
+  EXPECT_EQ(back.size(), 0u);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  EXPECT_THROW((void)trace_from_string("NOTATRACE 1 HM 30 0\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadVersion) {
+  EXPECT_THROW((void)trace_from_string("VCTRACE 99 HM 30 0\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownDevice) {
+  EXPECT_THROW((void)trace_from_string("VCTRACE 1 XX 30 0\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedPoses) {
+  EXPECT_THROW((void)trace_from_string("VCTRACE 1 HM 30 2\n1 2 3 1 0 0 0\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonPositiveRate) {
+  EXPECT_THROW((void)trace_from_string("VCTRACE 1 HM 0 0\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  EXPECT_THROW((void)trace_from_string(""), std::runtime_error);
+}
+
+TEST(TraceIo, WholeStudyRoundTrips) {
+  UserStudyConfig c;
+  c.smartphone_users = 2;
+  c.headset_users = 2;
+  c.samples_per_user = 20;
+  const UserStudy study(c);
+  for (const Trace& t : study.traces()) {
+    const Trace back = trace_from_string(trace_to_string(t));
+    EXPECT_EQ(back.device, t.device);
+    EXPECT_EQ(back.size(), t.size());
+  }
+}
+
+}  // namespace
+}  // namespace volcast::trace

@@ -1,0 +1,47 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast {
+namespace {
+
+TEST(Units, DbmMilliwattRoundTrip) {
+  EXPECT_DOUBLE_EQ(dbm_to_mw(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(30.0), 1000.0);
+  EXPECT_NEAR(dbm_to_mw(-68.0), 1.585e-7, 1e-10);
+  for (double dbm : {-90.0, -68.0, -30.0, 0.0, 20.0})
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-12);
+}
+
+TEST(Units, DbRatioRoundTrip) {
+  EXPECT_NEAR(db_to_ratio(3.0103), 2.0, 1e-4);
+  EXPECT_NEAR(ratio_to_db(2.0), 3.0103, 1e-4);
+  EXPECT_DOUBLE_EQ(ratio_to_db(1.0), 0.0);
+  for (double db : {-20.0, -3.0, 0.0, 10.0})
+    EXPECT_NEAR(ratio_to_db(db_to_ratio(db)), db, 1e-12);
+}
+
+TEST(Units, BitsAndMegabits) {
+  EXPECT_DOUBLE_EQ(megabits(1.0), 1e6);
+  EXPECT_DOUBLE_EQ(byte_bits(100.0), 800.0);
+  EXPECT_DOUBLE_EQ(bits_to_megabits(2.5e6), 2.5);
+}
+
+TEST(Units, TxTime) {
+  // 10 Mbit at 1000 Mbps = 10 ms.
+  EXPECT_DOUBLE_EQ(tx_time_s(10e6, 1000.0), 0.010);
+  EXPECT_DOUBLE_EQ(tx_time_s(0.0, 500.0), 0.0);
+}
+
+TEST(Units, MillisecondsHelper) {
+  EXPECT_DOUBLE_EQ(ms(33.0), 0.033);
+}
+
+TEST(Units, Wavelength60GHz) {
+  // ~4.96 mm at the 802.11ad channel-2 carrier.
+  EXPECT_NEAR(wavelength_m(kMmWaveCarrierHz), 0.004957, 1e-5);
+  EXPECT_NEAR(wavelength_m(kSpeedOfLight), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace volcast

@@ -1,0 +1,84 @@
+#include "trace/user_study.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::trace {
+namespace {
+
+TEST(UserStudy, DefaultMatchesPaperComposition) {
+  const UserStudy study;
+  EXPECT_EQ(study.user_count(), 32u);
+  EXPECT_EQ(study.users_of(DeviceType::kSmartphone).size(), 16u);
+  EXPECT_EQ(study.users_of(DeviceType::kHeadset).size(), 16u);
+  for (const Trace& t : study.traces()) {
+    EXPECT_EQ(t.size(), 300u);
+    EXPECT_DOUBLE_EQ(t.sample_rate_hz, 30.0);
+  }
+}
+
+TEST(UserStudy, DeviceOfMatchesGroups) {
+  const UserStudy study;
+  for (std::size_t u : study.users_of(DeviceType::kSmartphone))
+    EXPECT_EQ(study.device_of(u), DeviceType::kSmartphone);
+  for (std::size_t u : study.users_of(DeviceType::kHeadset))
+    EXPECT_EQ(study.device_of(u), DeviceType::kHeadset);
+}
+
+TEST(UserStudy, DeterministicForSeed) {
+  const UserStudy a;
+  const UserStudy b;
+  for (std::size_t u = 0; u < a.user_count(); u += 7) {
+    EXPECT_EQ(a.trace(u).poses[10].position, b.trace(u).poses[10].position);
+  }
+}
+
+TEST(UserStudy, SeedChangesTraces) {
+  UserStudyConfig c1;
+  UserStudyConfig c2;
+  c2.seed = 777;
+  const UserStudy a(c1);
+  const UserStudy b(c2);
+  double diff = 0.0;
+  for (std::size_t u = 0; u < a.user_count(); ++u)
+    diff += a.trace(u).poses[50].position.distance(b.trace(u).poses[50].position);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(UserStudy, UsersAreSpatiallySpread) {
+  const UserStudy study;
+  // Two users at opposite ends of the arc must start far apart.
+  const auto& first = study.trace(0).poses[0].position;
+  const auto& last = study.trace(31).poses[0].position;
+  EXPECT_GT(first.distance(last), 1.0);
+}
+
+TEST(UserStudy, UsersSurroundContentCenter) {
+  UserStudyConfig c;
+  c.content_center = {4.0, 3.0, 1.1};
+  const UserStudy study(c);
+  for (std::size_t u = 0; u < study.user_count(); u += 5) {
+    const auto& p = study.trace(u).poses[0].position;
+    const double dist = std::hypot(p.x - 4.0, p.y - 3.0);
+    EXPECT_GT(dist, 0.5);
+    EXPECT_LT(dist, 4.0);
+  }
+}
+
+TEST(UserStudy, CustomComposition) {
+  UserStudyConfig c;
+  c.smartphone_users = 3;
+  c.headset_users = 5;
+  c.samples_per_user = 60;
+  const UserStudy study(c);
+  EXPECT_EQ(study.user_count(), 8u);
+  EXPECT_EQ(study.users_of(DeviceType::kSmartphone).size(), 3u);
+  EXPECT_EQ(study.trace(0).size(), 60u);
+}
+
+TEST(UserStudy, TraceAccessorRangeChecks) {
+  const UserStudy study;
+  EXPECT_THROW((void)study.trace(32), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace volcast::trace

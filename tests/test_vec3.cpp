@@ -1,0 +1,79 @@
+#include "geometry/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace volcast::geo {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_EQ(x.cross(y), Vec3(0, 0, 1));
+  EXPECT_EQ(y.cross(x), Vec3(0, 0, -1));
+  const Vec3 a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(a.dot(a), a.norm_sq());
+}
+
+TEST(Vec3, NormAndDistance) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.distance({3, 4, 12}), 12.0);
+}
+
+TEST(Vec3, NormalizedUnitLength) {
+  const Vec3 v{2, -3, 6};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+  // Degenerate zero vector maps to +X, never NaN.
+  const Vec3 z{0, 0, 0};
+  EXPECT_EQ(z.normalized(), Vec3(1, 0, 0));
+}
+
+TEST(Vec3, MinMaxComponentwise) {
+  const Vec3 a{1, 5, 3};
+  const Vec3 b{2, 4, 3};
+  EXPECT_EQ(a.min(b), Vec3(1, 4, 3));
+  EXPECT_EQ(a.max(b), Vec3(2, 5, 3));
+}
+
+TEST(Vec3, Lerp) {
+  const Vec3 a{0, 0, 0};
+  const Vec3 b{10, 20, 30};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), Vec3(5, 10, 15));
+}
+
+TEST(Vec3, CrossOrthogonality) {
+  const Vec3 a{1.3, -2.7, 0.4};
+  const Vec3 b{-0.2, 1.9, 3.3};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace volcast::geo

@@ -1,0 +1,144 @@
+#include "pointcloud/video_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace volcast::vv {
+namespace {
+
+VideoConfig small_config() {
+  VideoConfig c;
+  c.points_per_frame = 10'000;
+  c.frame_count = 30;
+  return c;
+}
+
+TEST(VideoGenerator, ExactPointBudget) {
+  const VideoGenerator gen(small_config());
+  EXPECT_EQ(gen.frame(0).size(), 10'000u);
+  EXPECT_EQ(gen.frame(7).size(), 10'000u);
+}
+
+TEST(VideoGenerator, DeterministicPerIndex) {
+  const VideoGenerator a(small_config());
+  const VideoGenerator b(small_config());
+  const auto fa = a.frame(5);
+  const auto fb = b.frame(5);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); i += 500)
+    EXPECT_EQ(fa.points()[i], fb.points()[i]);
+}
+
+TEST(VideoGenerator, SeedChangesSampling) {
+  VideoConfig c1 = small_config();
+  VideoConfig c2 = small_config();
+  c2.seed = 999;
+  const auto f1 = VideoGenerator(c1).frame(0);
+  const auto f2 = VideoGenerator(c2).frame(0);
+  int differing = 0;
+  for (std::size_t i = 0; i < f1.size(); i += 100)
+    if (!(f1.points()[i] == f2.points()[i])) ++differing;
+  EXPECT_GT(differing, 50);
+}
+
+TEST(VideoGenerator, FramesStayInsideContentBounds) {
+  const VideoGenerator gen(small_config());
+  const auto bounds = gen.content_bounds();
+  for (std::size_t f = 0; f < 30; f += 5) {
+    // Bind the frame: ranging over a temporary's member dangles (the
+    // temporary dies before the loop body runs).
+    const PointCloud frame = gen.frame(f);
+    for (const Point& p : frame.points())
+      EXPECT_TRUE(bounds.contains(p.position));
+  }
+}
+
+TEST(VideoGenerator, AnimationMovesPoints) {
+  const VideoGenerator gen(small_config());
+  const auto f0 = gen.frame(0);
+  const auto f10 = gen.frame(10);
+  double total_motion = 0.0;
+  for (std::size_t i = 0; i < f0.size(); i += 50)
+    total_motion += f0.points()[i].position.distance(f10.points()[i].position);
+  EXPECT_GT(total_motion, 1.0);  // limbs swing
+}
+
+TEST(VideoGenerator, TemporalCoherenceBetweenAdjacentFrames) {
+  const VideoGenerator gen(small_config());
+  const auto f0 = gen.frame(0);
+  const auto f1 = gen.frame(1);
+  for (std::size_t i = 0; i < f0.size(); i += 111) {
+    EXPECT_LT(f0.points()[i].position.distance(f1.points()[i].position), 0.15)
+        << "point " << i << " teleported between adjacent frames";
+  }
+}
+
+TEST(VideoGenerator, LoopsModuloFrameCount) {
+  const VideoGenerator gen(small_config());
+  const auto f2 = gen.frame(2);
+  const auto f32 = gen.frame(32);  // 32 % 30 == 2
+  ASSERT_EQ(f2.size(), f32.size());
+  for (std::size_t i = 0; i < f2.size(); i += 1000)
+    EXPECT_EQ(f2.points()[i], f32.points()[i]);
+}
+
+TEST(VideoGenerator, ContentCenterInsideBounds) {
+  const VideoGenerator gen(small_config());
+  EXPECT_TRUE(gen.content_bounds().contains(gen.content_center()));
+}
+
+TEST(VideoGenerator, HumanlikeVerticalExtent) {
+  const VideoGenerator gen(small_config());
+  const auto bounds = gen.frame(0).bounds();
+  EXPECT_GT(bounds.hi.z - bounds.lo.z, 1.4);  // roughly person-sized
+  EXPECT_LT(bounds.hi.z - bounds.lo.z, 2.0);
+}
+
+TEST(Thin, FractionOneIsIdentity) {
+  const VideoGenerator gen(small_config());
+  const auto cloud = gen.frame(0);
+  EXPECT_EQ(thin(cloud, 1.0).size(), cloud.size());
+  EXPECT_EQ(thin(cloud, 2.0).size(), cloud.size());
+}
+
+TEST(Thin, FractionZeroIsEmpty) {
+  const VideoGenerator gen(small_config());
+  EXPECT_TRUE(thin(gen.frame(0), 0.0).empty());
+  EXPECT_TRUE(thin(gen.frame(0), -1.0).empty());
+}
+
+TEST(Thin, ApproximatesRequestedFraction) {
+  const VideoGenerator gen(small_config());
+  const auto cloud = gen.frame(0);
+  for (double f : {0.25, 0.5, 0.6, 0.78}) {
+    const auto thinned = thin(cloud, f);
+    const double actual =
+        static_cast<double>(thinned.size()) / static_cast<double>(cloud.size());
+    EXPECT_NEAR(actual, f, 0.03) << "fraction " << f;
+  }
+}
+
+TEST(Thin, DeterministicAndNested) {
+  // Thinning is index-hash based: thinning to 0.3 keeps a subset of the
+  // points kept at 0.6 (nested levels of detail).
+  const VideoGenerator gen(small_config());
+  const auto cloud = gen.frame(0);
+  const auto t1 = thin(cloud, 0.6);
+  const auto t2 = thin(cloud, 0.6);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); i += 97)
+    EXPECT_EQ(t1.points()[i], t2.points()[i]);
+}
+
+TEST(Thin, PreservesSpatialCoverage) {
+  // The thinned cloud must still span the figure (uniform thinning).
+  const VideoGenerator gen(small_config());
+  const auto cloud = gen.frame(0);
+  const auto thinned = thin(cloud, 0.3);
+  const auto full_bounds = cloud.bounds();
+  const auto thin_bounds = thinned.bounds();
+  EXPECT_LT(full_bounds.hi.z - thin_bounds.hi.z, 0.1);
+  EXPECT_LT(thin_bounds.lo.z - full_bounds.lo.z, 0.1);
+}
+
+}  // namespace
+}  // namespace volcast::vv

@@ -1,0 +1,208 @@
+// volcast_sim — run a configurable multi-user streaming session from the
+// command line and print the QoE outcome. Every ablation switch of the
+// cross-layer system is exposed as a flag, so experiments beyond the bench
+// harness need no recompilation.
+//
+//   volcast_sim --users=6 --duration=10 --device=hm --adaptation=cross
+//   volcast_sim --users=8 --aps=2 --spread=6.28
+//   volcast_sim --users=5 --no-multicast --reactive-beams
+//   volcast_sim --users=4 --replay=traces.dir   (one VCTRACE file per user)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/session.h"
+#include "trace/trace_io.h"
+
+using namespace volcast;
+using namespace volcast::core;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "volcast_sim: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags("volcast_sim",
+                   "multi-user volumetric streaming session runner");
+  flags.add_number("users", 4, "number of concurrent viewers");
+  flags.add_number("duration", 8.0, "session length in seconds");
+  flags.add_string("device", "hm", "viewer hardware: hm (headset) or ph "
+                                   "(smartphone)");
+  flags.add_number("points", 100000, "master content points per frame");
+  flags.add_number("frames", 30, "video frames before the clip loops");
+  flags.add_number("aps", 1, "number of coordinated APs (1-4)");
+  flags.add_number("seed", 1, "experiment seed (bit-reproducible)");
+  flags.add_number("spread", 2.0,
+                   "audience arc around the content in radians "
+                   "(6.28 = surround)");
+  flags.add_number("start-tier", 2, "initial quality tier (0..2)");
+  flags.add_string("adaptation", "cross",
+                   "rate adaptation: none | buffer | cross");
+  flags.add_string("estimator", "cross",
+                   "bandwidth estimator: app | phy | cross");
+  flags.add_string("grouping", "greedy",
+                   "multicast grouping: unicast | pairs | greedy | "
+                   "exhaustive");
+  flags.add_switch("no-multicast", "disable multicast entirely");
+  flags.add_switch("no-custom-beams", "stock sector beams only");
+  flags.add_switch("no-mitigation", "disable proactive blockage mitigation");
+  flags.add_switch("no-occlusion", "ignore user-user viewport occlusion");
+  flags.add_switch("reactive-beams",
+                   "reactive SLS beam training instead of predictive "
+                   "tracking");
+  flags.add_string("replay", "",
+                   "directory of VCTRACE files (user0.trace, user1.trace, "
+                   "...) to replay instead of synthetic mobility");
+  flags.add_switch("per-user", "print the per-user QoE table");
+  flags.add_string("timeline", "",
+                   "write a per-tick CSV (t,user,buffer_s,tier,rss_dbm,"
+                   "rate_mbps,blockage) to this file");
+
+  std::string error;
+  if (!flags.parse(argc, argv, &error)) {
+    return fail(error + "\n\n" + flags.help());
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
+  }
+
+  SessionConfig config;
+  config.user_count = static_cast<std::size_t>(flags.integer("users"));
+  config.duration_s = flags.num("duration");
+  config.master_points = static_cast<std::size_t>(flags.integer("points"));
+  config.video_frames = static_cast<std::size_t>(flags.integer("frames"));
+  config.ap_count = static_cast<std::size_t>(flags.integer("aps"));
+  config.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  config.audience_spread_rad = flags.num("spread");
+  config.start_tier = static_cast<std::size_t>(flags.integer("start-tier"));
+  config.enable_multicast = !flags.on("no-multicast");
+  config.enable_custom_beams = !flags.on("no-custom-beams");
+  config.enable_blockage_mitigation = !flags.on("no-mitigation");
+  config.enable_user_occlusion = !flags.on("no-occlusion");
+  config.predictive_beam_tracking = !flags.on("reactive-beams");
+
+  const std::string device = flags.str("device");
+  if (device == "hm") {
+    config.device = trace::DeviceType::kHeadset;
+  } else if (device == "ph") {
+    config.device = trace::DeviceType::kSmartphone;
+  } else {
+    return fail("unknown --device: " + device);
+  }
+
+  const std::string adaptation = flags.str("adaptation");
+  if (adaptation == "none") {
+    config.adaptation = AdaptationPolicy::kNone;
+  } else if (adaptation == "buffer") {
+    config.adaptation = AdaptationPolicy::kBufferOnly;
+  } else if (adaptation == "cross") {
+    config.adaptation = AdaptationPolicy::kCrossLayer;
+  } else {
+    return fail("unknown --adaptation: " + adaptation);
+  }
+
+  const std::string estimator = flags.str("estimator");
+  if (estimator == "app") {
+    config.estimator = BandwidthEstimator::kAppOnly;
+  } else if (estimator == "phy") {
+    config.estimator = BandwidthEstimator::kPhyOnly;
+  } else if (estimator == "cross") {
+    config.estimator = BandwidthEstimator::kCrossLayer;
+  } else {
+    return fail("unknown --estimator: " + estimator);
+  }
+
+  const std::string grouping = flags.str("grouping");
+  if (grouping == "unicast") {
+    config.grouping = GroupingPolicy::kUnicastOnly;
+  } else if (grouping == "pairs") {
+    config.grouping = GroupingPolicy::kPairsOnly;
+  } else if (grouping == "greedy") {
+    config.grouping = GroupingPolicy::kGreedyIoU;
+  } else if (grouping == "exhaustive") {
+    config.grouping = GroupingPolicy::kExhaustive;
+  } else {
+    return fail("unknown --grouping: " + grouping);
+  }
+
+  const std::string replay_dir = flags.str("replay");
+  if (!replay_dir.empty()) {
+    for (std::size_t u = 0; u < config.user_count; ++u) {
+      const auto path = std::filesystem::path(replay_dir) /
+                        ("user" + std::to_string(u) + ".trace");
+      std::ifstream in(path);
+      if (!in) return fail("cannot open replay trace: " + path.string());
+      try {
+        config.replay_traces.push_back(trace::read_trace(in));
+      } catch (const std::exception& e) {
+        return fail(path.string() + ": " + e.what());
+      }
+    }
+  }
+
+  std::ofstream timeline;
+  const std::string timeline_path = flags.str("timeline");
+  if (!timeline_path.empty()) {
+    timeline.open(timeline_path);
+    if (!timeline) return fail("cannot open " + timeline_path);
+    timeline << "t,user,buffer_s,tier,rss_dbm,rate_mbps,blockage\n";
+    config.tick_observer = [&timeline](const TickSample& s) {
+      timeline << s.t_s << ',' << s.user << ',' << s.buffer_s << ','
+               << s.tier << ',' << s.rss_dbm << ',' << s.rate_mbps << ','
+               << (s.blockage_forecast ? 1 : 0) << '\n';
+    };
+  }
+
+  Session session(config);
+  const SessionResult result = session.run();
+  if (timeline.is_open())
+    std::printf("timeline written to %s\n", timeline_path.c_str());
+
+  std::printf("session: %zu %s users, %.1f s, %zu AP(s)\n",
+              config.user_count, device.c_str(), config.duration_s,
+              config.ap_count);
+  std::printf("mean fps %.1f | min fps %.1f | total stall %.2f s | mean "
+              "tier %.2f | fairness %.2f\n",
+              result.qoe.mean_fps(), result.qoe.min_fps(),
+              result.qoe.total_stall_s(), result.qoe.mean_quality_tier(),
+              result.qoe.fairness_index());
+  std::printf("motion-to-photon: mean %.1f ms, max %.1f ms (user 0)\n",
+              1e3 * result.qoe.users.front().mean_m2p_latency_s,
+              1e3 * result.qoe.users.front().max_m2p_latency_s);
+  std::printf("multicast bit share %.2f | mean group %.2f | custom beams "
+              "%zu | stock %zu\n",
+              result.multicast_bit_share, result.mean_group_size,
+              result.custom_beam_uses, result.stock_beam_uses);
+  std::printf("blockage forecasts %zu | reflection switches %zu | outage "
+              "user-ticks %zu\n",
+              result.blockage_forecasts, result.reflection_switches,
+              result.outage_user_ticks);
+  std::printf("SLS sweeps %zu | sweep outage ticks %zu | airtime "
+              "utilization %.2f | dropped ticks %zu\n",
+              result.sls_sweeps, result.sls_outage_ticks,
+              result.mean_airtime_utilization, result.dropped_ticks);
+
+  if (flags.on("per-user")) {
+    AsciiTable table;
+    table.header({"user", "fps", "stall s", "tier", "goodput Mbps",
+                  "switches"});
+    for (const auto& u : result.qoe.users) {
+      table.row({std::to_string(u.user), AsciiTable::num(u.displayed_fps, 1),
+                 AsciiTable::num(u.stall_time_s, 2),
+                 AsciiTable::num(u.mean_quality_tier, 2),
+                 AsciiTable::num(u.mean_goodput_mbps, 1),
+                 std::to_string(u.quality_switches)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// volcast_trace — generate, inspect and export 6DoF viewing traces.
+//
+//   volcast_trace --export=DIR [--users=32 --samples=300 --seed=42]
+//       writes the synthetic user study as user<N>.trace files (VCTRACE
+//       format), ready for `volcast_sim --replay=DIR` or external tools;
+//   volcast_trace --summary
+//       prints per-user motion statistics of the study;
+//   volcast_trace --iou
+//       prints the pairwise viewport-similarity matrix (50 cm cells).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "pointcloud/video_generator.h"
+#include "trace/trace_io.h"
+#include "trace/user_study.h"
+#include "viewport/similarity.h"
+
+using namespace volcast;
+
+namespace {
+
+trace::UserStudy build_study(const FlagParser& flags) {
+  trace::UserStudyConfig config;
+  const auto users = static_cast<std::size_t>(flags.integer("users"));
+  config.smartphone_users = users / 2;
+  config.headset_users = users - users / 2;
+  config.samples_per_user = static_cast<std::size_t>(flags.integer("samples"));
+  config.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  return trace::UserStudy(config);
+}
+
+void print_summary(const trace::UserStudy& study) {
+  AsciiTable table;
+  table.header({"user", "device", "travel m", "mean speed m/s",
+                "radius mean m"});
+  for (std::size_t u = 0; u < study.user_count(); ++u) {
+    const auto& poses = study.trace(u).poses;
+    double travel = 0.0;
+    RunningStats radius;
+    for (std::size_t i = 0; i < poses.size(); ++i) {
+      if (i > 0)
+        travel += poses[i].position.distance(poses[i - 1].position);
+      radius.add(std::hypot(poses[i].position.x, poses[i].position.y));
+    }
+    const double duration = study.trace(u).duration_s();
+    table.row({std::to_string(u), to_string(study.device_of(u)),
+               AsciiTable::num(travel, 2),
+               AsciiTable::num(duration > 0 ? travel / duration : 0.0, 3),
+               AsciiTable::num(radius.mean(), 2)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+void print_iou(const trace::UserStudy& study) {
+  vv::VideoConfig vc;
+  vc.points_per_frame = 60'000;
+  vc.frame_count = 30;
+  const vv::VideoGenerator generator(vc);
+  const vv::CellGrid grid(generator.content_bounds(), 0.5);
+
+  // Mean pairwise IoU over sampled frames.
+  const std::size_t n = study.user_count();
+  std::vector<std::vector<double>> mean_iou(n, std::vector<double>(n, 0.0));
+  int samples = 0;
+  for (std::size_t f = 0; f < study.trace(0).size(); f += 15) {
+    const auto occupancy = grid.occupancy(generator.frame(f % 30));
+    std::vector<view::VisibilityMap> maps;
+    maps.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      view::VisibilityOptions options;
+      options.intrinsics = view::device_intrinsics(study.device_of(u));
+      maps.push_back(view::compute_visibility(grid, occupancy,
+                                              study.trace(u).poses[f],
+                                              options));
+    }
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = 0; b < n; ++b)
+        mean_iou[a][b] += view::iou(maps[a], maps[b]);
+    ++samples;
+  }
+  std::printf("mean pairwise IoU (50 cm cells), row/col = user id:\n    ");
+  for (std::size_t b = 0; b < n; ++b) std::printf("%4zu", b);
+  std::printf("\n");
+  for (std::size_t a = 0; a < n; ++a) {
+    std::printf("%4zu", a);
+    for (std::size_t b = 0; b < n; ++b)
+      std::printf(" %.1f", mean_iou[a][b] / samples);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags("volcast_trace", "6DoF viewing-trace toolkit");
+  flags.add_number("users", 32, "study participants (half PH, half HM)");
+  flags.add_number("samples", 300, "samples per trace at 30 Hz");
+  flags.add_number("seed", 42, "study seed");
+  flags.add_string("export", "", "write user<N>.trace files to a directory");
+  flags.add_switch("summary", "print per-user motion statistics");
+  flags.add_switch("iou", "print the pairwise viewport-similarity matrix");
+
+  std::string error;
+  if (!flags.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "volcast_trace: %s\n%s", error.c_str(),
+                 flags.help().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
+  }
+
+  const trace::UserStudy study = build_study(flags);
+
+  const std::string export_dir = flags.str("export");
+  if (!export_dir.empty()) {
+    std::filesystem::create_directories(export_dir);
+    for (std::size_t u = 0; u < study.user_count(); ++u) {
+      const auto path = std::filesystem::path(export_dir) /
+                        ("user" + std::to_string(u) + ".trace");
+      std::ofstream out(path);
+      trace::write_trace(out, study.trace(u));
+    }
+    std::printf("wrote %zu traces to %s\n", study.user_count(),
+                export_dir.c_str());
+  }
+  if (flags.on("summary")) print_summary(study);
+  if (flags.on("iou")) print_iou(study);
+  if (export_dir.empty() && !flags.on("summary") && !flags.on("iou")) {
+    std::printf("%s", flags.help().c_str());
+  }
+  return 0;
+}
