@@ -34,12 +34,19 @@ MultiApCoordinator::MultiApCoordinator(const TestbedConfig& base,
 
 std::vector<std::size_t> MultiApCoordinator::assign_users(
     std::span<const geo::Vec3> positions) const {
+  return assign_users(positions, {});
+}
+
+std::vector<std::size_t> MultiApCoordinator::assign_users(
+    std::span<const geo::Vec3> positions,
+    std::span<const bool> available) const {
   std::vector<std::size_t> assignment;
   assignment.reserve(positions.size());
   for (const geo::Vec3& pos : positions) {
     std::size_t best_ap = 0;
     double best_rss = -std::numeric_limits<double>::infinity();
     for (std::size_t a = 0; a < aps_.size(); ++a) {
+      if (a < available.size() && !available[a]) continue;
       const Testbed& tb = *aps_[a];
       const double rss = mmwave::best_beam_rss_dbm(
           tb.ap(), tb.codebook(), tb.channel(), pos, {}, tb.budget(),

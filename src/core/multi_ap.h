@@ -43,6 +43,14 @@ class MultiApCoordinator {
   [[nodiscard]] std::vector<std::size_t> assign_users(
       std::span<const geo::Vec3> positions) const;
 
+  /// Availability-aware assignment: only APs with `available[a]` true are
+  /// candidates (fault tolerance — an AP in outage serves nobody). When no
+  /// AP is available every user keeps index 0; callers must treat a down
+  /// AP's users as unserved.
+  [[nodiscard]] std::vector<std::size_t> assign_users(
+      std::span<const geo::Vec3> positions,
+      std::span<const bool> available) const;
+
   /// Goodput multiplier in [0, 1] for a victim at `victim_pos` served by
   /// `victim_ap` with signal `victim_rss_dbm`, while every other AP
   /// transmits with the given beams (indexed by AP; empty AWVs are idle).

@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/beam_designer.h"
 #include "core/blockage_mitigator.h"
 #include "core/multi_ap.h"
+#include "fault/injector.h"
 #include "mmwave/link.h"
 #include "mmwave/sls.h"
 #include "pointcloud/video_store.h"
@@ -19,6 +21,43 @@
 #include "viewport/similarity.h"
 
 namespace volcast::core {
+
+void SessionConfig::validate() const {
+  if (!(fps > 0.0))
+    throw std::invalid_argument("SessionConfig: fps must be > 0");
+  if (!(duration_s > 0.0))
+    throw std::invalid_argument("SessionConfig: duration_s must be > 0");
+  if (user_count == 0)
+    throw std::invalid_argument("SessionConfig: user_count must be > 0");
+  if (master_points == 0)
+    throw std::invalid_argument("SessionConfig: master_points must be > 0");
+  if (video_frames == 0)
+    throw std::invalid_argument("SessionConfig: video_frames must be > 0");
+  if (!(cell_size_m > 0.0))
+    throw std::invalid_argument("SessionConfig: cell_size_m must be > 0");
+  if (ap_count < 1 || ap_count > 4)
+    throw std::invalid_argument("SessionConfig: ap_count must be in [1, 4]");
+  if (start_tier > 2)
+    throw std::invalid_argument(
+        "SessionConfig: start_tier must be in [0, 2] (three quality tiers)");
+  if (!(prediction_horizon_s >= 0.0))
+    throw std::invalid_argument(
+        "SessionConfig: prediction_horizon_s must be >= 0");
+  if (!(decode_points_per_second >= 0.0))
+    throw std::invalid_argument(
+        "SessionConfig: decode_points_per_second must be >= 0");
+  if (!(max_backlog_s >= 0.0))
+    throw std::invalid_argument("SessionConfig: max_backlog_s must be >= 0");
+  if (!replay_traces.empty()) {
+    if (replay_traces.size() < user_count)
+      throw std::invalid_argument(
+          "SessionConfig: fewer replay traces than users");
+    for (const auto& trace : replay_traces)
+      if (trace.poses.empty())
+        throw std::invalid_argument("SessionConfig: empty replay trace");
+  }
+  fault_plan.validate(user_count, ap_count);
+}
 
 namespace {
 
@@ -73,8 +112,23 @@ struct Session::Impl {
     double decode_free_at = 0.0;
     // Motion-to-photon accounting (pose -> playable).
     RunningStats m2p;
+    // Fault-recovery state: exponential backoff after failed beam probes,
+    // and the frozen position of a stuck sector.
+    int probe_backoff_ticks = 0;
+    int probe_backoff_next = 1;
+    bool was_stuck = false;
+    geo::Vec3 stuck_pos{};
   };
   std::vector<User> users;
+
+  // Fault injection (all inert when the plan is empty).
+  fault::FaultInjector injector;
+  std::vector<fault::HealthMonitor> health;
+  bool has_faults = false;
+  fault::FaultReport freport;
+  // Per-AP membership signature of the last tick, for counting multicast
+  // group reformations under churn / AP faults.
+  std::vector<std::vector<std::size_t>> prev_active;
 
   // Counters for SessionResult.
   double multicast_bits = 0.0;
@@ -139,15 +193,11 @@ struct Session::Impl {
         joint(c.user_count, joint_config(c, coordinator.ap(0))),
         mitigator(coordinator.ap(0),
                   designers_placeholder(),  // replaced below
-                  MitigatorConfig{}) {
-    if (!c.replay_traces.empty()) {
-      if (c.replay_traces.size() < c.user_count)
-        throw std::invalid_argument(
-            "Session: fewer replay traces than users");
-      for (const auto& trace : c.replay_traces)
-        if (trace.poses.empty())
-          throw std::invalid_argument("Session: empty replay trace");
-    }
+                  MitigatorConfig{}),
+        injector(c.fault_plan, c.user_count,
+                 std::max<std::size_t>(c.ap_count, 1), c.seed ^ 0xfa17ULL),
+        health(c.user_count, fault::HealthMonitor(c.health)),
+        has_faults(!c.fault_plan.empty()) {
     BeamDesignerConfig bd;
     bd.enable_custom_beams = c.enable_custom_beams;
     for (std::size_t a = 0; a < coordinator.ap_count(); ++a)
@@ -220,10 +270,30 @@ SessionResult Session::Impl::run() {
 
   const auto& mcs = coordinator.ap(0).mcs();
 
+  // Fault state; inert (and cost-free on the hot paths) with an empty plan.
+  std::array<bool, 4> ap_up{};
+  ap_up.fill(true);
+  prev_active.assign(coordinator.ap_count(), {});
+  const auto absent = [&](std::size_t u) {
+    return has_faults && injector.user_absent(u);
+  };
+  std::vector<char> fault_fallback(n, 0);
+
   for (std::size_t tick = 0; tick < ticks; ++tick) {
     const double t = static_cast<double>(tick) * dt;
     queue.run_until(t);
     const std::size_t frame = tick % config.video_frames;
+
+    bool availability_changed = false;
+    if (has_faults) {
+      freport.faults_injected += injector.advance(t);
+      for (std::size_t a = 0; a < coordinator.ap_count(); ++a) {
+        const bool up = !injector.ap_down(a);
+        if (up != ap_up[a]) availability_changed = true;
+        ap_up[a] = up;
+      }
+      std::fill(fault_fallback.begin(), fault_fallback.end(), 0);
+    }
 
     // ---- 1. observe poses, bodies, shadowing --------------------------
     std::vector<geo::Pose> local_poses(n);
@@ -256,26 +326,98 @@ SessionResult Session::Impl::run() {
     }
     blockage_forecasts += prediction.blockages.size();
 
-    // ---- 3. AP assignment (refreshed every second) ---------------------
-    if (coordinator.ap_count() > 1 && tick % 30 == 0)
-      assignment = coordinator.assign_users(room_pos);
+    // ---- 3. AP assignment (refreshed every second, and immediately when
+    // an AP goes dark or comes back) --------------------------------------
+    if (coordinator.ap_count() > 1 &&
+        (tick % 30 == 0 || availability_changed)) {
+      assignment = has_faults
+                       ? coordinator.assign_users(
+                             room_pos, std::span<const bool>(
+                                           ap_up.data(),
+                                           coordinator.ap_count()))
+                       : coordinator.assign_users(room_pos);
+    }
+
+    // Multicast membership tracking: the set of users each AP can serve.
+    // Under an active fault, any change to that set is a group reformation
+    // (member churned, blacked out, or was re-homed after an AP outage).
+    if (has_faults) {
+      for (std::size_t a = 0; a < coordinator.ap_count(); ++a) {
+        std::vector<std::size_t> sig;
+        if (ap_up[a]) {
+          for (std::size_t u = 0; u < n; ++u)
+            if (assignment[u] == a && !absent(u)) sig.push_back(u);
+        }
+        if (tick > 0 && injector.any_active() && sig != prev_active[a])
+          ++freport.group_reformations;
+        prev_active[a] = std::move(sig);
+      }
+    }
 
     // ---- 4. per-user unicast link state --------------------------------
     std::vector<double> unicast_rate(n, 0.0);
     std::vector<double> unicast_rss(n, -200.0);
     const mmwave::SlsProcedure sls;
     for (std::size_t u = 0; u < n; ++u) {
+      if (has_faults && (absent(u) || !ap_up[assignment[u]])) {
+        // Churned out, or the serving AP is dark: no delivery path at all
+        // this tick. The player rides its buffer until recovery.
+        unicast_rss[u] = -200.0;
+        unicast_rate[u] = 0.0;
+        users[u].predictor.set_phy_state(0.0, false);
+        continue;
+      }
       const Testbed& tb = coordinator.ap(assignment[u]);
       std::vector<geo::BodyObstacle> others;
       for (std::size_t v = 0; v < n; ++v)
-        if (v != u) others.push_back(bodies[v]);
+        if (v != u && !absent(v)) others.push_back(bodies[v]);
+      for (const geo::BodyObstacle& o : injector.obstacles())
+        others.push_back(o);
 
       mmwave::Awv serving;
-      if (config.predictive_beam_tracking) {
+      if (has_faults && injector.sector_stuck(u)) {
+        // Stuck sector: the radio keeps riding the sweep result frozen at
+        // the moment the fault hit, however stale it gets.
+        User& st = users[u];
+        if (!st.was_stuck) {
+          st.was_stuck = true;
+          st.stuck_pos = room_pos[u];
+        }
+        serving = tb.codebook().beam(
+            tb.codebook().best_beam_toward(tb.ap(), st.stuck_pos));
+        fault_fallback[u] = 1;
+      } else if (config.predictive_beam_tracking) {
+        users[u].was_stuck = false;
         // The paper's proposal: steer from the (predicted) 6DoF position,
-        // no beam search, no outage.
-        serving =
-            designers[assignment[u]].design_unicast(room_pos[u], others).awv;
+        // no beam search, no outage. A custom beam must be probed before
+        // use, and under a probe fault that probe fails: retry with
+        // exponential backoff, riding the fallback chain meanwhile.
+        bool use_custom = true;
+        if (has_faults) {
+          User& st = users[u];
+          if (st.probe_backoff_ticks > 0) {
+            --st.probe_backoff_ticks;  // still backing off a failed probe
+            use_custom = false;
+          } else if (injector.probe_fail(u)) {
+            ++freport.probe_retries;
+            st.probe_backoff_ticks = st.probe_backoff_next;
+            st.probe_backoff_next = std::min(st.probe_backoff_next * 2, 16);
+            use_custom = false;
+          } else {
+            st.probe_backoff_next = 1;  // probe succeeded
+          }
+        }
+        if (use_custom) {
+          serving =
+              designers[assignment[u]].design_unicast(room_pos[u], others)
+                  .awv;
+        } else {
+          // Fallback chain, step 1: the stock sector beam needs no probe.
+          serving = tb.codebook().beam(
+              tb.codebook().best_beam_toward(tb.ap(), room_pos[u]));
+          ++freport.fallback_stock_beams;
+          fault_fallback[u] = 1;
+        }
       } else {
         // Reactive baseline: ride the last swept sector; re-train via SLS
         // when it goes stale, paying the 5-20 ms search outage.
@@ -339,6 +481,24 @@ SessionResult Session::Impl::run() {
         }
         --users[u].reflection_ticks;
       }
+      if (has_faults && fault_fallback[u] != 0 && rss < -68.0) {
+        // Fallback chain, step 2: the stock beam is unusable too (stale
+        // sector, or a fault-spawned obstacle shadows the LoS) — try a
+        // reflected path off the room surfaces.
+        const GroupBeam refl_beam =
+            designers[assignment[u]].design_reflection(room_pos[u], others);
+        if (!refl_beam.awv.empty()) {
+          const double refl_rss =
+              mmwave::rss_dbm(tb.ap(), refl_beam.awv, tb.channel(),
+                              room_pos[u], others, tb.budget(),
+                              tb.blockage()) +
+              shadow[u];
+          if (refl_rss > rss) {
+            rss = refl_rss;
+            ++freport.fallback_reflection_beams;
+          }
+        }
+      }
       unicast_rss[u] = rss;
       unicast_rate[u] = mcs.goodput_mbps(rss);
       if (coordinator.ap_count() > 1) {
@@ -378,6 +538,17 @@ SessionResult Session::Impl::run() {
       }
       const AdaptationDecision decision = adapter.decide(in);
       users[u].tier = decision.tier;
+      if (has_faults && fault_fallback[u] != 0) {
+        // Fallback chain, step 3 (last resort): a user riding a fallback
+        // beam whose link cannot carry its tier sheds quality immediately
+        // instead of waiting for the adapter's smoothed estimate.
+        while (users[u].tier > 0 &&
+               in.demand_mbps[std::min<std::size_t>(users[u].tier, 2)] >
+                   in.predicted_mbps) {
+          --users[u].tier;
+          ++freport.fallback_tier_drops;
+        }
+      }
       if (decision.prefetch && users[u].prefetch_credit == 0)
         users[u].prefetch_credit = 2;
     }
@@ -400,10 +571,17 @@ SessionResult Session::Impl::run() {
     // ---- 7. grouping + scheduling per AP --------------------------------
     std::vector<double> app_sample_mbps(n, 0.0);
     for (std::size_t a = 0; a < coordinator.ap_count(); ++a) {
+      if (has_faults && !ap_up[a]) {
+        // AP in outage: it schedules nothing and radiates nothing.
+        concurrent_beams[a].clear();
+        backlog[a] = std::max(0.0, backlog[a] - dt);
+        continue;
+      }
       // Users of this AP that still need this tick's frame.
       std::vector<std::size_t> members;  // user ids
       for (std::size_t u = 0; u < n; ++u) {
         if (assignment[u] != a) continue;
+        if (absent(u)) continue;  // churned out mid-session
         if (users[u].frames_ahead > 0) {
           --users[u].frames_ahead;  // already prefetched
           continue;
@@ -459,6 +637,7 @@ SessionResult Session::Impl::run() {
         positions.reserve(idx.size());
         for (std::size_t i : idx) positions.push_back(room_pos[members[i]]);
         for (std::size_t u = 0; u < n; ++u) {
+          if (absent(u)) continue;
           if (std::find_if(idx.begin(), idx.end(), [&](std::size_t i) {
                 return members[i] == u;
               }) == idx.end()) {
@@ -466,6 +645,8 @@ SessionResult Session::Impl::run() {
             non_member_bodies.push_back(bodies[u]);
           }
         }
+        for (const geo::BodyObstacle& o : injector.obstacles())
+          non_member_bodies.push_back(o);
         const GroupBeam beam = designers[a].design_multicast(
             positions, non_member_bodies, other_positions);
         // Worst member RSS including that member's shadowing.
@@ -475,7 +656,9 @@ SessionResult Session::Impl::run() {
           const Testbed& tb = coordinator.ap(a);
           std::vector<geo::BodyObstacle> others;
           for (std::size_t v = 0; v < n; ++v)
-            if (v != u) others.push_back(bodies[v]);
+            if (v != u && !absent(v)) others.push_back(bodies[v]);
+          for (const geo::BodyObstacle& o : injector.obstacles())
+            others.push_back(o);
           const double rss =
               mmwave::rss_dbm(tb.ap(), beam.awv, tb.channel(), room_pos[u],
                               others, tb.budget(), tb.blockage()) +
@@ -515,8 +698,11 @@ SessionResult Session::Impl::run() {
         std::vector<geo::BodyObstacle> non_member_bodies;
         for (std::size_t u : group) positions.push_back(room_pos[u]);
         for (std::size_t u = 0; u < n; ++u)
-          if (std::find(group.begin(), group.end(), u) == group.end())
+          if (!absent(u) &&
+              std::find(group.begin(), group.end(), u) == group.end())
             non_member_bodies.push_back(bodies[u]);
+        for (const geo::BodyObstacle& o : injector.obstacles())
+          non_member_bodies.push_back(o);
         GroupBeam beam =
             designers[a].design_multicast(positions, non_member_bodies, {});
         if (beam.custom) {
@@ -578,13 +764,34 @@ SessionResult Session::Impl::run() {
               config.decode_points_per_second > 0.0
                   ? visible_points / config.decode_points_per_second
                   : 0.0;
+          if (has_faults && injector.decoder_stalled(u)) {
+            // The decoder is frozen: nothing completes before the stall
+            // lifts (clamped to the session end for permanent stalls).
+            const double resume = std::min(injector.decoder_stall_until(u),
+                                           config.duration_s);
+            users[u].decode_free_at =
+                std::max(users[u].decode_free_at, resume);
+          }
           users[u].decode_free_at =
               std::max(users[u].decode_free_at, delivery_time) + decode_time;
           users[u].m2p.add(users[u].decode_free_at - t);
-          queue.schedule_at(users[u].decode_free_at,
-                            [this, u, frame, tier, bits]() {
-            users[u].player.deliver({frame, tier, bits});
-          });
+          if (has_faults && injector.frame_lost(u, tick)) {
+            // Corrupted on the air interface: the airtime was spent but
+            // nothing playable arrives. Conceal by holding the last
+            // decoded frame (bounded), else the frame is skipped.
+            queue.schedule_at(users[u].decode_free_at, [this, u]() {
+              if (users[u].player.conceal()) {
+                ++freport.concealed_frames;
+              } else {
+                ++freport.skipped_frames;
+              }
+            });
+          } else {
+            queue.schedule_at(users[u].decode_free_at,
+                              [this, u, frame, tier, bits]() {
+              users[u].player.deliver({frame, tier, bits});
+            });
+          }
         }
       }
 
@@ -607,9 +814,19 @@ SessionResult Session::Impl::run() {
         users[u].delivered_bits += bits;
         const double when = t + backlog[a];
         const std::size_t tier = users[u].tier;
-        queue.schedule_at(when, [this, u, next_frame, tier, bits]() {
-          users[u].player.deliver({next_frame, tier, bits});
-        });
+        if (has_faults && injector.frame_lost(u, tick)) {
+          queue.schedule_at(when, [this, u]() {
+            if (users[u].player.conceal()) {
+              ++freport.concealed_frames;
+            } else {
+              ++freport.skipped_frames;
+            }
+          });
+        } else {
+          queue.schedule_at(when, [this, u, next_frame, tier, bits]() {
+            users[u].player.deliver({next_frame, tier, bits});
+          });
+        }
       }
 
       // Viewport-prediction quality: what fraction of the cells each member
@@ -646,7 +863,30 @@ SessionResult Session::Impl::run() {
     for (std::size_t u = 0; u < n; ++u) {
       if (app_sample_mbps[u] > 0.0)
         users[u].predictor.observe(app_sample_mbps[u], unicast_rate[u]);
-      users[u].player.advance(dt);
+      if (has_faults) {
+        const bool is_absent = absent(u);
+        const bool delivering = !is_absent && ap_up[assignment[u]] &&
+                                unicast_rate[u] > 0.0;
+        const bool impaired =
+            injector.probe_fail(u) || injector.sector_stuck(u) ||
+            injector.decoder_stalled(u) ||
+            injector.frame_loss_probability(u) > 0.0;
+        const fault::HealthState s =
+            health[u].observe(t, delivering, unicast_rate[u], impaired);
+        if (s == fault::HealthState::kDegraded) ++freport.degraded_user_ticks;
+        if (s == fault::HealthState::kOutage) ++freport.unhealthy_user_ticks;
+        if (!is_absent) {
+          // Playback continues only while the user is in the room; stalls
+          // during an active fault are attributed to it.
+          const double stall_before = users[u].player.stall_time_s();
+          users[u].player.advance(dt);
+          if (injector.any_active())
+            freport.fault_rebuffer_s +=
+                users[u].player.stall_time_s() - stall_before;
+        }
+      } else {
+        users[u].player.advance(dt);
+      }
       if (config.tick_observer) {
         config.tick_observer({t, u, users[u].player.buffer_s(),
                               users[u].tier, unicast_rss[u],
@@ -693,11 +933,24 @@ SessionResult Session::Impl::run() {
   result.sls_outage_ticks = sls_outage_ticks;
   result.mean_airtime_utilization =
       config.duration_s > 0.0 ? scheduled_airtime / config.duration_s : 0.0;
+  if (has_faults) {
+    RunningStats ttr;
+    for (const fault::HealthMonitor& monitor : health) {
+      for (double episode : monitor.recovery_times()) ttr.add(episode);
+      freport.health_transitions += monitor.transitions();
+    }
+    freport.recoveries = ttr.count();
+    freport.mean_time_to_recover_s = ttr.mean();
+    freport.max_time_to_recover_s = ttr.max();
+  }
+  result.faults = freport;
   return result;
 }
 
-Session::Session(SessionConfig config)
-    : impl_(std::make_unique<Impl>(config)) {}
+Session::Session(SessionConfig config) {
+  config.validate();
+  impl_ = std::make_unique<Impl>(std::move(config));
+}
 Session::~Session() = default;
 Session::Session(Session&&) noexcept = default;
 Session& Session::operator=(Session&&) noexcept = default;

@@ -27,6 +27,8 @@
 #include "core/grouping.h"
 #include "core/rate_adapter.h"
 #include "core/testbed.h"
+#include "fault/fault_plan.h"
+#include "fault/health.h"
 #include "sim/metrics.h"
 #include "trace/mobility.h"
 
@@ -109,6 +111,19 @@ struct SessionConfig {
   /// Air-queue backlog beyond which a tick's fetches are dropped (frames
   /// skipped) instead of queued.
   double max_backlog_s = 0.25;
+
+  /// Timed fault events injected into the run (empty = no faults; the
+  /// session then behaves bit-identically to a build without the fault
+  /// subsystem). See fault/fault_plan.h.
+  fault::FaultPlan fault_plan;
+  /// Thresholds of the per-user health state machine (only consulted when
+  /// the plan is non-empty).
+  fault::HealthConfig health{};
+
+  /// Checks the whole configuration up front; throws std::invalid_argument
+  /// with one clear message per violated rule. Session's constructor calls
+  /// this, but callers building configs incrementally can call it early.
+  void validate() const;
 };
 
 /// Session outcome: per-user QoE plus system-level counters.
@@ -125,6 +140,8 @@ struct SessionResult {
   std::size_t sls_sweeps = 0;         // reactive beam searches performed
   std::size_t sls_outage_ticks = 0;   // user-ticks spent sweeping (no data)
   double mean_airtime_utilization = 0.0;  // scheduled airtime / wall time
+  /// Fault-injection recovery metrics (all zero with an empty FaultPlan).
+  fault::FaultReport faults;
 };
 
 /// Runs one configured session; construction precomputes the video store.

@@ -1,0 +1,94 @@
+// Deterministic cross-layer fault injection (chaos testing for the
+// streaming stack).
+//
+// The paper's agenda is surviving disruption, but the anticipated failure
+// modes (forecastable body blockage, SLS staleness) are only half the
+// story: real multi-user deployments are dominated by *unanticipated*
+// faults — AP outages, user churn, new obstacles, broken beam probes,
+// corrupted frames, decoder stalls. A FaultPlan is an explicit, seeded list
+// of such timed events; the session threads it through every layer so that
+// graceful degradation and recovery can be exercised and measured. Faults
+// are simulation events, never wall-clock randomness: the same
+// (SessionConfig, FaultPlan, seed) reproduces bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "geometry/vec3.h"
+
+namespace volcast::fault {
+
+/// Event taxonomy, one entry per layer the injector can disturb.
+enum class FaultKind {
+  kApOutage,       // AP `target` goes dark, restarts after duration_s
+  kUserLeave,      // user `target` churns out, rejoins after duration_s
+  kObstacleSpawn,  // persistent obstacle appears at `position`
+  kBeamProbeFail,  // user `target`'s custom-beam probes fail while active
+  kStuckSector,    // user `target`'s serving sector freezes while active
+  kFrameLoss,      // user frames corrupt/lost with probability `magnitude`
+  kDecoderStall,   // user `target`'s decoder is frozen while active
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// `target` value meaning "every user" (kFrameLoss only).
+inline constexpr std::size_t kAllUsers =
+    std::numeric_limits<std::size_t>::max();
+
+/// One timed fault.
+struct FaultEvent {
+  double t_s = 0.0;         // onset (simulation time)
+  FaultKind kind = FaultKind::kApOutage;
+  std::size_t target = 0;   // AP index or user index depending on kind
+  /// Active window; <= 0 means "until the end of the session".
+  double duration_s = 0.0;
+  /// Kind-specific knob: loss probability in [0, 1] for kFrameLoss,
+  /// obstacle radius in meters for kObstacleSpawn (0 = default 0.4 m).
+  double magnitude = 0.0;
+  /// Obstacle spawn point in room coordinates (kObstacleSpawn only).
+  geo::Vec3 position{};
+};
+
+/// An ordered, validated list of fault events.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Inserts an event keeping the list sorted by onset time.
+  void add(const FaultEvent& event);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Checks every event against the session shape. Throws
+  /// std::invalid_argument with a message naming the offending event.
+  void validate(std::size_t user_count, std::size_t ap_count) const;
+
+  /// Human-readable one-line-per-event listing.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Knobs for the seeded chaos-plan generator.
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  double duration_s = 8.0;
+  std::size_t user_count = 4;
+  std::size_t ap_count = 1;
+  /// Expected fault events per simulated second (before clamping to at
+  /// least one event per plan).
+  double intensity = 0.5;
+};
+
+/// Generates a random-but-deterministic plan: same ChaosConfig, same plan.
+[[nodiscard]] FaultPlan random_plan(const ChaosConfig& config);
+
+}  // namespace volcast::fault

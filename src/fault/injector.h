@@ -1,0 +1,79 @@
+// Time-indexed view of a FaultPlan: which faults are active *now*.
+//
+// The session calls advance(t) once per tick; every layer then queries the
+// injector for its own disturbance (is my AP down? did this user's probe
+// fail? is this frame lost?). All answers derive from the plan and the
+// seed, never from wall-clock state, so runs reproduce exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "geometry/obstacle.h"
+
+namespace volcast::fault {
+
+class FaultInjector {
+ public:
+  /// `seed` drives the per-(user, tick) frame-loss draws only; the event
+  /// timeline itself is fully determined by the plan.
+  FaultInjector(const FaultPlan& plan, std::size_t user_count,
+                std::size_t ap_count, std::uint64_t seed);
+
+  /// Activates events with onset <= t and retires expired ones. Returns
+  /// how many events newly fired during this call.
+  std::size_t advance(double t);
+
+  /// True while at least one fault is active.
+  [[nodiscard]] bool any_active() const noexcept { return active_count_ > 0; }
+  /// Total events fired so far.
+  [[nodiscard]] std::size_t fired() const noexcept { return fired_; }
+
+  [[nodiscard]] bool ap_down(std::size_t ap) const;
+  [[nodiscard]] bool user_absent(std::size_t user) const;
+  [[nodiscard]] bool probe_fail(std::size_t user) const;
+  [[nodiscard]] bool sector_stuck(std::size_t user) const;
+  [[nodiscard]] bool decoder_stalled(std::size_t user) const;
+  /// Simulation time at which the user's active decoder stall ends
+  /// (0 when no stall is active; infinity for a permanent stall).
+  [[nodiscard]] double decoder_stall_until(std::size_t user) const;
+  /// Active frame-loss probability for the user (max over active events).
+  [[nodiscard]] double frame_loss_probability(std::size_t user) const;
+  /// Deterministic per-(user, tick) loss draw against the active
+  /// probability; false when no frame-loss fault is active.
+  [[nodiscard]] bool frame_lost(std::size_t user, std::size_t tick) const;
+  /// Obstacles spawned and still standing (room coordinates).
+  [[nodiscard]] const std::vector<geo::BodyObstacle>& obstacles()
+      const noexcept {
+    return obstacles_;
+  }
+
+ private:
+  struct Active {
+    FaultEvent event;
+    double until = 0.0;  // infinity for permanent faults
+  };
+
+  void rebuild_flags();
+
+  std::vector<FaultEvent> pending_;  // sorted by onset; consumed in order
+  std::size_t next_ = 0;
+  std::vector<Active> active_;
+  std::size_t active_count_ = 0;
+  std::size_t fired_ = 0;
+  std::size_t user_count_;
+  std::size_t ap_count_;
+  std::uint64_t seed_;
+
+  // Flags recomputed whenever the active set changes.
+  std::vector<bool> ap_down_;
+  std::vector<bool> user_absent_;
+  std::vector<bool> probe_fail_;
+  std::vector<bool> sector_stuck_;
+  std::vector<double> stall_until_;
+  std::vector<double> loss_p_;
+  std::vector<geo::BodyObstacle> obstacles_;
+};
+
+}  // namespace volcast::fault

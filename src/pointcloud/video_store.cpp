@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/stats.h"
@@ -145,6 +146,161 @@ double VideoStore::tier_bits_per_point(std::size_t tier) const {
     for (std::uint32_t n : f.points.at(tier)) points += n;
   }
   return points > 0.0 ? bits / points : 0.0;
+}
+
+namespace {
+
+constexpr std::uint8_t kStoreMagic[4] = {'V', 'S', 'T', 'R'};
+constexpr std::uint32_t kStoreVersion = 1;
+constexpr std::size_t kMaxTiers = 64;
+constexpr std::size_t kMaxFrames = 1u << 20;
+constexpr std::size_t kMaxNameLen = 256;
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/// Bounds-checked little-endian reader; every decode failure throws.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  std::string str(std::size_t len) {
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (pos_ + bytes > data_.size())
+      throw std::runtime_error("VideoStore: truncated blob");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> VideoStore::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), std::begin(kStoreMagic), std::end(kStoreMagic));
+  put_u32(out, kStoreVersion);
+  std::uint64_t fps_bits;
+  static_assert(sizeof fps_bits == sizeof fps_);
+  std::memcpy(&fps_bits, &fps_, sizeof fps_bits);
+  put_u64(out, fps_bits);
+  put_u32(out, static_cast<std::uint32_t>(config_.tiers.size()));
+  put_u32(out, static_cast<std::uint32_t>(frames_.size()));
+  put_u64(out, grid_ != nullptr ? grid_->cell_count() : 0);
+  for (const QualityTier& tier : config_.tiers) {
+    put_u32(out, static_cast<std::uint32_t>(tier.name.size()));
+    out.insert(out.end(), tier.name.begin(), tier.name.end());
+    put_u64(out, tier.points_per_frame);
+  }
+  for (const FrameSizes& frame : frames_) {
+    for (std::size_t q = 0; q < config_.tiers.size(); ++q) {
+      for (std::uint32_t b : frame.bytes.at(q)) put_u32(out, b);
+      for (std::uint32_t p : frame.points.at(q)) put_u32(out, p);
+    }
+  }
+  put_u64(out, fnv1a(out));
+  return out;
+}
+
+VideoStore VideoStore::deserialize(const CellGrid& grid,
+                                   std::span<const std::uint8_t> blob) {
+  if (blob.size() < sizeof kStoreMagic + 8)
+    throw std::runtime_error("VideoStore: blob too small");
+  Reader checksum_reader(blob.subspan(blob.size() - 8));
+  const std::uint64_t expected = checksum_reader.u64();
+  if (fnv1a(blob.subspan(0, blob.size() - 8)) != expected)
+    throw std::runtime_error("VideoStore: checksum mismatch");
+
+  Reader in(blob.subspan(0, blob.size() - 8));
+  if (std::memcmp(in.str(4).data(), kStoreMagic, 4) != 0)
+    throw std::runtime_error("VideoStore: bad magic");
+  if (in.u32() != kStoreVersion)
+    throw std::runtime_error("VideoStore: unsupported version");
+  VideoStore store;
+  const std::uint64_t fps_bits = in.u64();
+  double fps;
+  std::memcpy(&fps, &fps_bits, sizeof fps);
+  if (!(fps > 0.0) || !std::isfinite(fps))
+    throw std::runtime_error("VideoStore: invalid fps");
+  store.fps_ = fps;
+  const std::size_t n_tiers = in.u32();
+  const std::size_t n_frames = in.u32();
+  const std::uint64_t n_cells = in.u64();
+  if (n_tiers == 0 || n_tiers > kMaxTiers)
+    throw std::runtime_error("VideoStore: tier count out of range");
+  if (n_frames > kMaxFrames)
+    throw std::runtime_error("VideoStore: frame count out of range");
+  if (n_cells != grid.cell_count())
+    throw std::runtime_error("VideoStore: cell count does not match grid");
+  store.config_.tiers.clear();
+  for (std::size_t q = 0; q < n_tiers; ++q) {
+    const std::size_t name_len = in.u32();
+    if (name_len > kMaxNameLen)
+      throw std::runtime_error("VideoStore: tier name too long");
+    QualityTier tier;
+    tier.name = in.str(name_len);
+    tier.points_per_frame = in.u64();
+    store.config_.tiers.push_back(std::move(tier));
+  }
+  store.grid_ = &grid;
+  store.frames_.resize(n_frames);
+  for (FrameSizes& frame : store.frames_) {
+    frame.bytes.resize(n_tiers);
+    frame.points.resize(n_tiers);
+    for (std::size_t q = 0; q < n_tiers; ++q) {
+      frame.bytes[q].resize(n_cells);
+      for (std::uint64_t c = 0; c < n_cells; ++c) frame.bytes[q][c] = in.u32();
+      frame.points[q].resize(n_cells);
+      for (std::uint64_t c = 0; c < n_cells; ++c)
+        frame.points[q][c] = in.u32();
+    }
+  }
+  if (in.pos() != blob.size() - 8)
+    throw std::runtime_error("VideoStore: trailing bytes in blob");
+  return store;
 }
 
 }  // namespace volcast::vv

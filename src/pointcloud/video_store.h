@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,18 @@ class VideoStore {
   /// Mean encoded bits per point at a tier (codec efficiency metric).
   [[nodiscard]] double tier_bits_per_point(std::size_t tier) const;
 
+  /// Serializes the precomputed size tables into a compact checksummed
+  /// binary blob ("VSTR"), so a server can persist the store instead of
+  /// re-encoding the video on every start.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Rebuilds a store from serialize() output. The blob must describe the
+  /// same cell grid (`grid.cell_count()` cells). Throws std::runtime_error
+  /// on malformed, truncated or corrupted input — never crashes or
+  /// over-allocates.
+  [[nodiscard]] static VideoStore deserialize(
+      const CellGrid& grid, std::span<const std::uint8_t> blob);
+
  private:
   struct FrameSizes {
     // [tier][cell]
@@ -87,8 +100,10 @@ class VideoStore {
     std::vector<std::vector<std::uint32_t>> points;
   };
 
+  VideoStore() = default;  // deserialize() fills the tables directly
+
   VideoStoreConfig config_;
-  const CellGrid* grid_;
+  const CellGrid* grid_ = nullptr;
   double fps_ = 30.0;
   std::vector<FrameSizes> frames_;
 };

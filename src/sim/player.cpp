@@ -5,17 +5,33 @@
 
 namespace volcast::sim {
 
-Player::Player(double fps, double decode_cap_fps, std::size_t startup_frames)
+Player::Player(double fps, double decode_cap_fps, std::size_t startup_frames,
+               std::size_t max_conceal_run)
     : fps_(fps),
       decode_cap_fps_(decode_cap_fps),
-      startup_frames_(std::max<std::size_t>(startup_frames, 1)) {
+      startup_frames_(std::max<std::size_t>(startup_frames, 1)),
+      max_conceal_run_(max_conceal_run) {
   if (fps <= 0.0 || decode_cap_fps <= 0.0)
     throw std::invalid_argument("Player: rates must be positive");
 }
 
 void Player::deliver(const BufferedFrame& frame) {
   buffer_.push_back(frame);
+  last_delivered_ = frame;
+  has_last_delivered_ = true;
+  conceal_run_ = 0;
   if (!playing_ && buffer_.size() >= startup_frames_) playing_ = true;
+}
+
+bool Player::conceal() {
+  if (!has_last_delivered_ || conceal_run_ >= max_conceal_run_) return false;
+  ++conceal_run_;
+  ++concealed_;
+  BufferedFrame held = last_delivered_;
+  held.bits = 0.0;  // nothing new crossed the air interface
+  buffer_.push_back(held);
+  if (!playing_ && buffer_.size() >= startup_frames_) playing_ = true;
+  return true;
 }
 
 double Player::buffer_s() const noexcept {

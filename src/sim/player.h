@@ -21,12 +21,23 @@ class Player {
  public:
   /// `fps` display rate; `decode_cap_fps` the hardware decode ceiling;
   /// `startup_frames` buffered before playback starts (and re-starts after
-  /// a stall).
+  /// a stall); `max_conceal_run` bounds consecutive loss concealments.
   Player(double fps, double decode_cap_fps = 30.0,
-         std::size_t startup_frames = 2);
+         std::size_t startup_frames = 2, std::size_t max_conceal_run = 5);
 
   /// Enqueues a completed download.
   void deliver(const BufferedFrame& frame);
+
+  /// Loss concealment for a frame that never arrived (corrupted on the air
+  /// interface): re-presents the last delivered frame instead of letting
+  /// the buffer underrun. Bounded — after `max_conceal_run` consecutive
+  /// conceals (or before anything was delivered) it returns false and the
+  /// frame is simply skipped.
+  bool conceal();
+
+  [[nodiscard]] std::size_t concealed_frames() const noexcept {
+    return concealed_;
+  }
 
   /// Advances playback by `dt` seconds: consumes buffered frames at the
   /// effective rate, accumulates stall time when the buffer underruns.
@@ -52,7 +63,12 @@ class Player {
   double fps_;
   double decode_cap_fps_;
   std::size_t startup_frames_;
+  std::size_t max_conceal_run_;
   std::deque<BufferedFrame> buffer_;
+  BufferedFrame last_delivered_{};
+  bool has_last_delivered_ = false;
+  std::size_t conceal_run_ = 0;
+  std::size_t concealed_ = 0;
   double playhead_accum_ = 0.0;  // fractional frames owed to the display
   double played_ = 0.0;
   double stall_s_ = 0.0;

@@ -4,11 +4,14 @@
 // corruption), so failures reproduce.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "pointcloud/codec.h"
 #include "pointcloud/octree_codec.h"
+#include "pointcloud/video_store.h"
+#include "trace/mobility.h"
 #include "trace/trace_io.h"
 
 namespace volcast {
@@ -32,6 +35,33 @@ std::vector<std::uint8_t> corrupted(std::vector<std::uint8_t> data,
     const auto byte = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
     data[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+  }
+  return data;
+}
+
+/// Inserts `count` random bytes at random offsets (deterministic per seed).
+/// Models framing drift from extra bytes in a stream.
+std::vector<std::uint8_t> with_insertions(std::vector<std::uint8_t> data,
+                                          std::uint64_t seed, int count) {
+  Rng rng(seed ^ 0x125ULL);
+  for (int i = 0; i < count; ++i) {
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(data.size())));
+    data.insert(data.begin() + static_cast<long>(at),
+                static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+  }
+  return data;
+}
+
+/// Deletes `count` random bytes (deterministic per seed). Models dropped
+/// bytes in a stream — every downstream field shifts.
+std::vector<std::uint8_t> with_deletions(std::vector<std::uint8_t> data,
+                                         std::uint64_t seed, int count) {
+  Rng rng(seed ^ 0xde1ULL);
+  for (int i = 0; i < count && !data.empty(); ++i) {
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+    data.erase(data.begin() + static_cast<long>(at));
   }
   return data;
 }
@@ -120,6 +150,155 @@ TEST(FuzzDecoders, EmptyAndTinyInputs) {
     const std::vector<std::uint8_t> tiny(n, 0x5a);
     EXPECT_THROW((void)vv::decode(tiny), std::runtime_error);
     EXPECT_THROW((void)vv::octree_decode(tiny), std::runtime_error);
+  }
+}
+
+TEST(FuzzDecoders, MortonCodecSurvivesInsertionsAndDeletions) {
+  const auto blob = vv::encode(sample_cloud());
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    for (const auto& bad : {with_insertions(blob, seed, 4),
+                            with_deletions(blob, seed, 4)}) {
+      try {
+        const auto cloud = vv::decode(bad);
+        EXPECT_LE(cloud.size(), 64u * 8u * bad.size() + 64u);
+      } catch (const std::runtime_error&) {
+      }
+    }
+  }
+}
+
+TEST(FuzzDecoders, OctreeCodecSurvivesInsertionsAndDeletions) {
+  const auto blob = vv::octree_encode(sample_cloud());
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    for (const auto& bad : {with_insertions(blob, seed, 4),
+                            with_deletions(blob, seed, 4)}) {
+      try {
+        const auto cloud = vv::octree_decode(bad);
+        EXPECT_LE(cloud.size(), 64u * 8u * bad.size() + 64u);
+      } catch (const std::runtime_error&) {
+      }
+    }
+  }
+}
+
+// --- video store blob ------------------------------------------------------
+
+struct StoreFixture {
+  vv::VideoGenerator generator;
+  vv::CellGrid grid;
+  vv::VideoStore store;
+
+  static vv::VideoGenerator make_generator() {
+    vv::VideoConfig c;
+    c.points_per_frame = 20'000;
+    c.frame_count = 4;
+    return vv::VideoGenerator(c);
+  }
+  static vv::VideoStoreConfig tiers() {
+    vv::VideoStoreConfig sc;
+    sc.tiers = {{"low", 12'000}, {"high", 20'000}};
+    return sc;
+  }
+  StoreFixture()
+      : generator(make_generator()),
+        grid(generator.content_bounds(), 0.5),
+        store(generator, grid, tiers()) {}
+};
+
+TEST(FuzzDecoders, VideoStoreRoundTrips) {
+  const StoreFixture fx;
+  const auto blob = fx.store.serialize();
+  const vv::VideoStore copy = vv::VideoStore::deserialize(fx.grid, blob);
+  ASSERT_EQ(copy.frame_count(), fx.store.frame_count());
+  ASSERT_EQ(copy.tier_count(), fx.store.tier_count());
+  EXPECT_DOUBLE_EQ(copy.fps(), fx.store.fps());
+  for (std::size_t q = 0; q < fx.store.tier_count(); ++q) {
+    EXPECT_EQ(copy.tiers()[q].name, fx.store.tiers()[q].name);
+    EXPECT_EQ(copy.tiers()[q].points_per_frame,
+              fx.store.tiers()[q].points_per_frame);
+  }
+  for (std::size_t f = 0; f < fx.store.frame_count(); ++f) {
+    for (std::size_t q = 0; q < fx.store.tier_count(); ++q) {
+      for (vv::CellId c = 0; c < fx.grid.cell_count(); ++c) {
+        ASSERT_EQ(copy.cell_bytes(f, q, c), fx.store.cell_bytes(f, q, c));
+        ASSERT_EQ(copy.cell_points(f, q, c), fx.store.cell_points(f, q, c));
+      }
+    }
+  }
+}
+
+TEST(FuzzDecoders, VideoStoreDetectsBitFlips) {
+  const StoreFixture fx;
+  const auto blob = fx.store.serialize();
+  // The blob is checksummed, so every bit flip must be detected.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    EXPECT_THROW((void)vv::VideoStore::deserialize(
+                     fx.grid, corrupted(blob, seed, 1)),
+                 std::runtime_error);
+  }
+}
+
+TEST(FuzzDecoders, VideoStoreDetectsInsertionsDeletionsTruncation) {
+  const StoreFixture fx;
+  const auto blob = fx.store.serialize();
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    EXPECT_THROW((void)vv::VideoStore::deserialize(
+                     fx.grid, with_insertions(blob, seed, 3)),
+                 std::runtime_error);
+    EXPECT_THROW((void)vv::VideoStore::deserialize(
+                     fx.grid, with_deletions(blob, seed, 3)),
+                 std::runtime_error);
+  }
+  for (std::size_t keep = 0; keep < blob.size(); keep += 31) {
+    const std::vector<std::uint8_t> cut(
+        blob.begin(), blob.begin() + static_cast<long>(keep));
+    EXPECT_THROW((void)vv::VideoStore::deserialize(fx.grid, cut),
+                 std::runtime_error);
+  }
+}
+
+TEST(FuzzDecoders, VideoStoreRejectsMismatchedGrid) {
+  const StoreFixture fx;
+  const auto blob = fx.store.serialize();
+  const vv::CellGrid other(fx.generator.content_bounds(), 0.25);
+  ASSERT_NE(other.cell_count(), fx.grid.cell_count());
+  EXPECT_THROW((void)vv::VideoStore::deserialize(other, blob),
+               std::runtime_error);
+}
+
+// --- trace round trips -----------------------------------------------------
+
+trace::Trace sample_trace() {
+  return trace::generate_trace(trace::MobilityParams{}, /*seed=*/7,
+                               /*samples=*/60);
+}
+
+TEST(FuzzDecoders, TraceSurvivesByteCorruptionSweeps) {
+  const std::string text = trace::trace_to_string(sample_trace());
+  const std::vector<std::uint8_t> blob(text.begin(), text.end());
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    for (const auto& bad : {corrupted(blob, seed, 3),
+                            with_insertions(blob, seed, 3),
+                            with_deletions(blob, seed, 3)}) {
+      const std::string mutated(bad.begin(), bad.end());
+      try {
+        const trace::Trace t = trace::trace_from_string(mutated);
+        // Parsed despite corruption: the result must still be bounded.
+        EXPECT_LE(t.poses.size(), 1'000'000u);
+      } catch (const std::runtime_error&) {
+        // Clean rejection is the expected common case.
+      }
+    }
+  }
+}
+
+TEST(FuzzDecoders, TraceSurvivesTruncation) {
+  const std::string text = trace::trace_to_string(sample_trace());
+  for (std::size_t keep = 0; keep < text.size(); keep += 41) {
+    try {
+      (void)trace::trace_from_string(text.substr(0, keep));
+    } catch (const std::runtime_error&) {
+    }
   }
 }
 

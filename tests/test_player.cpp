@@ -107,5 +107,37 @@ TEST(Player, ZeroOrNegativeAdvanceIsNoop) {
   EXPECT_DOUBLE_EQ(p.stall_time_s(), 0.0);
 }
 
+TEST(Player, ConcealBeforeFirstDeliveryFails) {
+  Player p(30.0);
+  EXPECT_FALSE(p.conceal());
+  EXPECT_EQ(p.concealed_frames(), 0u);
+}
+
+TEST(Player, ConcealReplaysLastFrameAndKeepsPlayback) {
+  Player p(30.0, 30.0, 1);
+  p.deliver(frame(0, 2));
+  ASSERT_TRUE(p.conceal());  // frame 1 lost on the air interface
+  EXPECT_EQ(p.concealed_frames(), 1u);
+  EXPECT_EQ(p.buffered_frames(), 2u);
+  p.advance(2.0 / 30.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(p.played_frames(), 2.0);
+  // The concealed copy keeps the last frame's tier: no quality switch.
+  EXPECT_EQ(p.quality_switches(), 0u);
+}
+
+TEST(Player, ConcealRunIsBounded) {
+  Player p(30.0, 30.0, 1, /*max_conceal_run=*/3);
+  p.deliver(frame(0));
+  EXPECT_TRUE(p.conceal());
+  EXPECT_TRUE(p.conceal());
+  EXPECT_TRUE(p.conceal());
+  EXPECT_FALSE(p.conceal());  // fourth consecutive loss is skipped
+  EXPECT_EQ(p.concealed_frames(), 3u);
+  // A real delivery resets the run.
+  p.deliver(frame(1));
+  EXPECT_TRUE(p.conceal());
+  EXPECT_EQ(p.concealed_frames(), 4u);
+}
+
 }  // namespace
 }  // namespace volcast::sim

@@ -156,6 +156,86 @@ TEST(Session, TickObserverSeesEveryUserEveryTick) {
   EXPECT_EQ(calls, 30u * c.user_count);  // 1 s at 30 Hz x users
 }
 
+// validate(): every rule rejects with std::invalid_argument, up front,
+// before any expensive construction happens.
+TEST(SessionConfigValidate, AcceptsDefaultAndFastConfigs) {
+  EXPECT_NO_THROW(SessionConfig{}.validate());
+  EXPECT_NO_THROW(fast_config().validate());
+}
+
+TEST(SessionConfigValidate, RejectsNonPositiveFps) {
+  SessionConfig c = fast_config();
+  c.fps = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.fps = -30.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SessionConfigValidate, RejectsNonPositiveDuration) {
+  SessionConfig c = fast_config();
+  c.duration_s = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SessionConfigValidate, RejectsZeroUsers) {
+  SessionConfig c = fast_config();
+  c.user_count = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SessionConfigValidate, RejectsZeroContent) {
+  SessionConfig c = fast_config();
+  c.master_points = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = fast_config();
+  c.video_frames = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SessionConfigValidate, RejectsNonPositiveCellSize) {
+  SessionConfig c = fast_config();
+  c.cell_size_m = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SessionConfigValidate, RejectsApCountOutOfRange) {
+  SessionConfig c = fast_config();
+  c.ap_count = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.ap_count = 5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SessionConfigValidate, RejectsStartTierOutOfRange) {
+  SessionConfig c = fast_config();
+  c.start_tier = 3;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SessionConfigValidate, RejectsNegativeRates) {
+  SessionConfig c = fast_config();
+  c.prediction_horizon_s = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = fast_config();
+  c.decode_points_per_second = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = fast_config();
+  c.max_backlog_s = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SessionConfigValidate, RejectsEmptyReplayTrace) {
+  SessionConfig c = fast_config();
+  c.replay_traces.resize(c.user_count);  // present but empty poses
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SessionConfigValidate, SessionConstructorValidates) {
+  SessionConfig c = fast_config();
+  c.fps = -1.0;
+  EXPECT_THROW(Session{c}, std::invalid_argument);
+}
+
 TEST(Session, ConfigAccessor) {
   SessionConfig c = fast_config();
   c.user_count = 2;

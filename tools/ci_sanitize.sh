@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the full tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs the test suite under them. Any sanitizer report fails the run
+# (-fno-sanitize-recover=all aborts on the first finding).
+#
+#   tools/ci_sanitize.sh [build-dir]      # default: build-asan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVOLCAST_SANITIZE="address;undefined"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -j"$(nproc)"

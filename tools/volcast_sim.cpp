@@ -7,14 +7,17 @@
 //   volcast_sim --users=8 --aps=2 --spread=6.28
 //   volcast_sim --users=5 --no-multicast --reactive-beams
 //   volcast_sim --users=4 --replay=traces.dir   (one VCTRACE file per user)
+//   volcast_sim --users=6 --aps=2 --chaos --chaos-intensity=1.0
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/session.h"
+#include "fault/fault_plan.h"
 #include "trace/trace_io.h"
 
 using namespace volcast;
@@ -61,6 +64,14 @@ int main(int argc, char** argv) {
   flags.add_string("replay", "",
                    "directory of VCTRACE files (user0.trace, user1.trace, "
                    "...) to replay instead of synthetic mobility");
+  flags.add_switch("chaos",
+                   "inject a seeded random fault plan (AP outages, user "
+                   "churn, obstacles, probe failures, frame loss, decoder "
+                   "stalls) and print the recovery report");
+  flags.add_number("chaos-seed", 0,
+                   "fault plan seed (0 = reuse the experiment seed)");
+  flags.add_number("chaos-intensity", 0.5,
+                   "expected fault events per simulated second");
   flags.add_switch("per-user", "print the per-user QoE table");
   flags.add_string("timeline", "",
                    "write a per-tick CSV (t,user,buffer_s,tier,rss_dbm,"
@@ -149,6 +160,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (flags.on("chaos")) {
+    fault::ChaosConfig chaos;
+    const auto chaos_seed =
+        static_cast<std::uint64_t>(flags.integer("chaos-seed"));
+    chaos.seed = chaos_seed != 0 ? chaos_seed : config.seed;
+    chaos.duration_s = config.duration_s;
+    chaos.user_count = config.user_count;
+    chaos.ap_count = config.ap_count;
+    chaos.intensity = flags.num("chaos-intensity");
+    config.fault_plan = fault::random_plan(chaos);
+    std::printf("%s", config.fault_plan.summary().c_str());
+  }
+
   std::ofstream timeline;
   const std::string timeline_path = flags.str("timeline");
   if (!timeline_path.empty()) {
@@ -162,8 +186,13 @@ int main(int argc, char** argv) {
     };
   }
 
-  Session session(config);
-  const SessionResult result = session.run();
+  SessionResult result;
+  try {
+    Session session(config);
+    result = session.run();
+  } catch (const std::invalid_argument& e) {
+    return fail(std::string("invalid configuration: ") + e.what());
+  }
   if (timeline.is_open())
     std::printf("timeline written to %s\n", timeline_path.c_str());
 
@@ -190,6 +219,8 @@ int main(int argc, char** argv) {
               "utilization %.2f | dropped ticks %zu\n",
               result.sls_sweeps, result.sls_outage_ticks,
               result.mean_airtime_utilization, result.dropped_ticks);
+  if (!config.fault_plan.empty())
+    std::printf("%s", result.faults.summary().c_str());
 
   if (flags.on("per-user")) {
     AsciiTable table;
