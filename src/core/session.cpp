@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 #include "core/beam_designer.h"
 #include "core/blockage_mitigator.h"
@@ -81,6 +82,9 @@ struct Session::Impl {
   MultiApCoordinator coordinator;
   vv::VideoGenerator generator;
   vv::CellGrid grid;
+  // Declared before the store and the joint predictor: both hold a pointer
+  // to it and use it during their own construction.
+  common::ThreadPool pool;
   vv::VideoStore store;
   view::JointViewportPredictor joint;
   std::vector<BeamDesigner> designers;   // one per AP
@@ -160,7 +164,8 @@ struct Session::Impl {
     return vc;
   }
 
-  static vv::VideoStoreConfig store_config(const SessionConfig& c) {
+  static vv::VideoStoreConfig store_config(const SessionConfig& c,
+                                           common::ThreadPool* pool) {
     vv::VideoStoreConfig sc;
     // Scale the paper's 330K/430K/550K tier ladder to the configured
     // master point budget.
@@ -169,11 +174,13 @@ struct Session::Impl {
                 {"med", static_cast<std::size_t>(430'000 * scale)},
                 {"high", c.master_points}};
     sc.sample_frames = 1;
+    sc.pool = pool;
     return sc;
   }
 
   static view::JointPredictorConfig joint_config(const SessionConfig& c,
-                                                 const Testbed& tb) {
+                                                 const Testbed& tb,
+                                                 common::ThreadPool* pool) {
     view::JointPredictorConfig jc;
     jc.user_occlusion = c.enable_user_occlusion;
     jc.visibility.intrinsics = view::device_intrinsics(c.device);
@@ -181,6 +188,7 @@ struct Session::Impl {
     // (primary) AP there.
     jc.ap_position =
         tb.config().ap_position - tb.config().content_floor;
+    jc.pool = pool;
     return jc;
   }
 
@@ -189,8 +197,9 @@ struct Session::Impl {
         coordinator(c.testbed, multi_ap_config(c)),
         generator(video_config(c)),
         grid(generator.content_bounds(), c.cell_size_m),
-        store(generator, grid, store_config(c)),
-        joint(c.user_count, joint_config(c, coordinator.ap(0))),
+        pool(c.worker_threads),
+        store(generator, grid, store_config(c, &pool)),
+        joint(c.user_count, joint_config(c, coordinator.ap(0), &pool)),
         mitigator(coordinator.ap(0),
                   designers_placeholder(),  // replaced below
                   MitigatorConfig{}),
@@ -301,7 +310,9 @@ SessionResult Session::Impl::run() {
     std::vector<geo::BodyObstacle> bodies(n);
     std::vector<double> shadow(n);
     const bool replaying = !config.replay_traces.empty();
-    for (std::size_t u = 0; u < n; ++u) {
+    // Mobility and shadowing advance per-user RNG streams — independent
+    // state, slot-indexed outputs, so users fan out across the pool.
+    pool.parallel_for(n, [&](std::size_t u) {
       if (replaying) {
         const auto& poses = config.replay_traces[u].poses;
         local_poses[u] = poses[tick % poses.size()];
@@ -312,7 +323,7 @@ SessionResult Session::Impl::run() {
       room_pos[u] = coordinator.ap(0).to_room(local_poses[u].position);
       bodies[u] = {room_pos[u], 0.25, 1.8};
       shadow[u] = users[u].shadowing.step(dt);
-    }
+    });
     joint.observe(t, local_poses);
 
     // ---- 2. joint prediction ------------------------------------------
@@ -358,14 +369,26 @@ SessionResult Session::Impl::run() {
     std::vector<double> unicast_rate(n, 0.0);
     std::vector<double> unicast_rss(n, -200.0);
     const mmwave::SlsProcedure sls;
-    for (std::size_t u = 0; u < n; ++u) {
+    // Per-user counter deltas: parallel lanes touch only their own slot;
+    // the shared tallies are reduced serially, in user order, below.
+    struct LinkTally {
+      std::size_t probe_retries = 0;
+      std::size_t fallback_stock_beams = 0;
+      std::size_t fallback_reflection_beams = 0;
+      std::size_t sls_sweeps = 0;
+      std::size_t sls_outage_ticks = 0;
+      std::size_t reflection_switches = 0;
+    };
+    std::vector<LinkTally> link_tally(n);
+    pool.parallel_for(n, [&](std::size_t u) {
+      LinkTally& tally = link_tally[u];
       if (has_faults && (absent(u) || !ap_up[assignment[u]])) {
         // Churned out, or the serving AP is dark: no delivery path at all
         // this tick. The player rides its buffer until recovery.
         unicast_rss[u] = -200.0;
         unicast_rate[u] = 0.0;
         users[u].predictor.set_phy_state(0.0, false);
-        continue;
+        return;
       }
       const Testbed& tb = coordinator.ap(assignment[u]);
       std::vector<geo::BodyObstacle> others;
@@ -399,7 +422,7 @@ SessionResult Session::Impl::run() {
             --st.probe_backoff_ticks;  // still backing off a failed probe
             use_custom = false;
           } else if (injector.probe_fail(u)) {
-            ++freport.probe_retries;
+            ++tally.probe_retries;
             st.probe_backoff_ticks = st.probe_backoff_next;
             st.probe_backoff_next = std::min(st.probe_backoff_next * 2, 16);
             use_custom = false;
@@ -415,7 +438,7 @@ SessionResult Session::Impl::run() {
           // Fallback chain, step 1: the stock sector beam needs no probe.
           serving = tb.codebook().beam(
               tb.codebook().best_beam_toward(tb.ap(), room_pos[u]));
-          ++freport.fallback_stock_beams;
+          ++tally.fallback_stock_beams;
           fault_fallback[u] = 1;
         }
       } else {
@@ -426,11 +449,11 @@ SessionResult Session::Impl::run() {
           st.sls_remaining_ticks = std::max(
               1, static_cast<int>(std::ceil(
                      sls.outage_s(tb.codebook()) * config.fps)));
-          ++sls_sweeps;
+          ++tally.sls_sweeps;
         };
         if (st.sls_remaining_ticks > 0) {
           --st.sls_remaining_ticks;
-          ++sls_outage_ticks;
+          ++tally.sls_outage_ticks;
           if (st.sls_remaining_ticks == 0) {
             st.serving_awv = tb.codebook().beam(
                 tb.codebook().best_beam_toward(tb.ap(), room_pos[u]));
@@ -438,14 +461,14 @@ SessionResult Session::Impl::run() {
           unicast_rss[u] = -200.0;
           unicast_rate[u] = 0.0;
           users[u].predictor.set_phy_state(0.0, users[u].blockage_forecast);
-          continue;
+          return;
         }
         if (st.serving_awv.empty()) {
           start_sweep();
           unicast_rss[u] = -200.0;
           unicast_rate[u] = 0.0;
           users[u].predictor.set_phy_state(0.0, users[u].blockage_forecast);
-          continue;
+          return;
         }
         const double serving_rss =
             mmwave::rss_dbm(tb.ap(), st.serving_awv, tb.channel(),
@@ -477,7 +500,7 @@ SessionResult Session::Impl::run() {
             shadow[u];
         if (refl > rss) {
           rss = refl;
-          ++reflection_switches;
+          ++tally.reflection_switches;
         }
         --users[u].reflection_ticks;
       }
@@ -495,7 +518,7 @@ SessionResult Session::Impl::run() {
               shadow[u];
           if (refl_rss > rss) {
             rss = refl_rss;
-            ++freport.fallback_reflection_beams;
+            ++tally.fallback_reflection_beams;
           }
         }
       }
@@ -507,6 +530,14 @@ SessionResult Session::Impl::run() {
       }
       users[u].predictor.set_phy_state(unicast_rate[u],
                                        users[u].blockage_forecast);
+    });
+    for (const LinkTally& tally : link_tally) {
+      freport.probe_retries += tally.probe_retries;
+      freport.fallback_stock_beams += tally.fallback_stock_beams;
+      freport.fallback_reflection_beams += tally.fallback_reflection_beams;
+      sls_sweeps += tally.sls_sweeps;
+      sls_outage_ticks += tally.sls_outage_ticks;
+      reflection_switches += tally.reflection_switches;
     }
 
     // ---- 5. rate adaptation --------------------------------------------
@@ -518,7 +549,10 @@ SessionResult Session::Impl::run() {
     std::vector<std::size_t> ap_active(coordinator.ap_count(), 0);
     for (std::size_t u = 0; u < n; ++u)
       if (unicast_rate[u] > 0.0) ++ap_active[assignment[u]];
-    for (std::size_t u = 0; u < n; ++u) {
+    // Per-user decisions over per-user state; the only shared tally
+    // (fallback tier drops) goes through slots reduced in user order.
+    std::vector<std::size_t> tier_drop_tally(n, 0);
+    pool.parallel_for(n, [&](std::size_t u) {
       AdaptationInput in;
       in.buffer_s = users[u].player.buffer_s();
       // The air interface is shared: a user can only count on its share of
@@ -546,12 +580,14 @@ SessionResult Session::Impl::run() {
                in.demand_mbps[std::min<std::size_t>(users[u].tier, 2)] >
                    in.predicted_mbps) {
           --users[u].tier;
-          ++freport.fallback_tier_drops;
+          ++tier_drop_tally[u];
         }
       }
       if (decision.prefetch && users[u].prefetch_credit == 0)
         users[u].prefetch_credit = 2;
-    }
+    });
+    for (std::size_t drops : tier_drop_tally)
+      freport.fallback_tier_drops += drops;
 
     // ---- 6. proactive blockage mitigation ------------------------------
     if (config.enable_blockage_mitigation) {
@@ -604,17 +640,17 @@ SessionResult Session::Impl::run() {
         continue;
       }
 
-      std::vector<UserState> states;
-      states.reserve(members.size());
-      for (std::size_t u : members) {
+      std::vector<UserState> states(members.size());
+      pool.parallel_for(members.size(), [&](std::size_t i) {
+        const std::size_t u = members[i];
         UserState s;
         s.user = u;
         s.visibility = &prediction.visibility[u];
         s.total_bits =
             visible_bits(prediction.visibility[u], store, frame, users[u].tier);
         s.unicast_rate_mbps = unicast_rate[u];
-        states.push_back(s);
-      }
+        states[i] = s;
+      });
 
       auto group_tier = [&](std::span<const std::size_t> idx) {
         std::size_t tier = 0;
@@ -692,8 +728,15 @@ SessionResult Session::Impl::run() {
       } else {
         concurrent_beams[a].clear();
       }
-      for (const auto& group : grouping.groups) {
-        if (group.size() < 2) continue;
+      // Multicast beam design is the heavy per-group step and each group's
+      // beam is independent: design into per-group slots in parallel, then
+      // apply counters and the AP's transmit beam serially in group order
+      // (the last multicast group's beam represents this AP next tick,
+      // exactly as in the serial loop).
+      std::vector<GroupBeam> group_beams(grouping.groups.size());
+      pool.parallel_for(grouping.groups.size(), [&](std::size_t g) {
+        const auto& group = grouping.groups[g];
+        if (group.size() < 2) return;
         std::vector<geo::Vec3> positions;
         std::vector<geo::BodyObstacle> non_member_bodies;
         for (std::size_t u : group) positions.push_back(room_pos[u]);
@@ -703,8 +746,12 @@ SessionResult Session::Impl::run() {
             non_member_bodies.push_back(bodies[u]);
         for (const geo::BodyObstacle& o : injector.obstacles())
           non_member_bodies.push_back(o);
-        GroupBeam beam =
+        group_beams[g] =
             designers[a].design_multicast(positions, non_member_bodies, {});
+      });
+      for (std::size_t g = 0; g < grouping.groups.size(); ++g) {
+        if (grouping.groups[g].size() < 2) continue;
+        GroupBeam& beam = group_beams[g];
         if (beam.custom) {
           ++custom_beam_uses;
         } else {
@@ -832,7 +879,13 @@ SessionResult Session::Impl::run() {
       // Viewport-prediction quality: what fraction of the cells each member
       // actually needs (at its true pose) did the prediction-driven fetch
       // miss?
-      for (std::size_t u : members) {
+      // Ground-truth visibility per member is another full visibility
+      // computation: fan out into (needed, missed) slots, then fold into
+      // the per-user running sums serially, in member order.
+      std::vector<std::pair<std::size_t, std::size_t>> miss_tally(
+          members.size());
+      pool.parallel_for(members.size(), [&](std::size_t i) {
+        const std::size_t u = members[i];
         std::vector<geo::BodyObstacle> local_bodies;
         if (config.enable_user_occlusion) {
           for (std::size_t v = 0; v < n; ++v) {
@@ -851,10 +904,14 @@ SessionResult Session::Impl::run() {
           ++needed;
           if (!prediction.visibility[u].visible(cell)) ++missed;
         }
+        miss_tally[i] = {needed, missed};
+      });
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const auto [needed, missed] = miss_tally[i];
         if (needed > 0) {
-          users[u].miss_sum += static_cast<double>(missed) /
-                               static_cast<double>(needed);
-          ++users[u].miss_count;
+          users[members[i]].miss_sum += static_cast<double>(missed) /
+                                        static_cast<double>(needed);
+          ++users[members[i]].miss_count;
         }
       }
     }

@@ -12,8 +12,6 @@ Frustum::Frustum(const Pose& pose, const CameraIntrinsics& intrinsics)
   const Vec3 eye = pose.position;
 
   const double half_h = 0.5 * intrinsics.horizontal_fov_rad;
-  const double half_v =
-      std::atan(std::tan(half_h) * intrinsics.aspect);
 
   // Near and far planes face each other along the view axis.
   planes_[0] = Plane::from_point_normal(eye + fwd * intrinsics.near_m, fwd);
@@ -23,10 +21,15 @@ Frustum::Frustum(const Pose& pose, const CameraIntrinsics& intrinsics)
   //   n = sin(half) * fwd +- cos(half) * lateral.
   // A point straight ahead (eye + fwd) is at distance sin(half) > 0 from all
   // four side planes, so all normals face inward.
+  //
+  // The vertical half angle is atan(tan(half_h) * aspect); its sine and
+  // cosine follow algebraically (cos(atan(u)) = 1/sqrt(1+u^2)) without the
+  // atan/sin/cos round trip.
   const double ch = std::cos(half_h);
   const double sh = std::sin(half_h);
-  const double cv = std::cos(half_v);
-  const double sv = std::sin(half_v);
+  const double u = std::tan(half_h) * intrinsics.aspect;
+  const double cv = 1.0 / std::sqrt(1.0 + u * u);
+  const double sv = u * cv;
   planes_[2] = Plane::from_point_normal(eye, fwd * sh - left * ch);  // left
   planes_[3] = Plane::from_point_normal(eye, fwd * sh + left * ch);  // right
   planes_[4] = Plane::from_point_normal(eye, fwd * sv - up * cv);    // top

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/endian.h"
 #include "geometry/morton.h"
 #include "pointcloud/range_coder.h"
 
@@ -17,33 +18,10 @@ constexpr std::array<std::uint8_t, 4> kMagic{'V', 'P', 'C', '1'};
 constexpr unsigned kMaxQuantBits = 21;
 constexpr unsigned kMaxDeltaBits = 64;
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_f64(std::vector<std::uint8_t>& out, double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
-}
-
-std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i)
-    v = (v << 8) | in[at + static_cast<std::size_t>(i)];
-  return v;
-}
-
-double get_f64(std::span<const std::uint8_t> in, std::size_t at) {
-  std::uint64_t bits = 0;
-  for (int i = 7; i >= 0; --i)
-    bits = (bits << 8) | in[at + static_cast<std::size_t>(i)];
-  double v;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
+using common::get_f64;
+using common::get_u32;
+using common::put_f64;
+using common::put_u32;
 
 /// Context models for one non-negative integer stream: capped adaptive
 /// unary for the bit length, adaptive models for the two payload bits under

@@ -1,11 +1,14 @@
 #include "pointcloud/video_store.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/endian.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 
 namespace volcast::vv {
@@ -73,8 +76,14 @@ VideoStore::VideoStore(const VideoGenerator& generator, const CellGrid& grid,
                     : std::min(std::max<std::size_t>(config_.sample_frames, 1),
                                n_frames);
 
-  for (std::size_t f = 0; f < n_frames; ++f) {
-    const bool exact_frame = config_.exact || f < sample_count;
+  // frame(f) is a pure function of the generator config, and each frame
+  // fills only its own slot of frames_, so frames precompute in parallel
+  // with bit-identical tables. Only the size-model fit couples frames: the
+  // sample frames run serially first (their (points, bytes) pairs feed the
+  // fit in frame order), then the modeled remainder fans out.
+  const auto build_frame = [&](std::size_t f, bool exact_frame,
+                               std::vector<double>* mp,
+                               std::vector<double>* mb) {
     const PointCloud master = generator.frame(f);
     FrameSizes& sizes = frames_[f];
     sizes.bytes.resize(n_tiers);
@@ -86,9 +95,8 @@ VideoStore::VideoStore(const VideoGenerator& generator, const CellGrid& grid,
       const PointCloud cloud = thin(master, fraction);
       if (exact_frame) {
         encode_frame_exact(cloud, grid, config_, sizes.bytes[q],
-                           sizes.points[q],
-                           config_.exact ? nullptr : &model_points[q],
-                           config_.exact ? nullptr : &model_bytes[q]);
+                           sizes.points[q], mp != nullptr ? &mp[q] : nullptr,
+                           mb != nullptr ? &mb[q] : nullptr);
       } else {
         // Modeled sizing: occupancy is exact, bytes come from the fit.
         const auto counts = grid.occupancy(cloud);
@@ -103,10 +111,23 @@ VideoStore::VideoStore(const VideoGenerator& generator, const CellGrid& grid,
         }
       }
     }
-    if (!config_.exact && f + 1 == sample_count) {
-      for (std::size_t q = 0; q < n_tiers; ++q)
-        fits[q] = fit_line(model_points[q], model_bytes[q]);
-    }
+  };
+
+  if (config_.exact) {
+    // Every frame is exact and independent (no size model to fit).
+    common::ThreadPool::run(config_.pool, n_frames, [&](std::size_t f) {
+      build_frame(f, true, nullptr, nullptr);
+    });
+  } else {
+    for (std::size_t f = 0; f < sample_count; ++f)
+      build_frame(f, true, model_points.data(), model_bytes.data());
+    for (std::size_t q = 0; q < n_tiers; ++q)
+      fits[q] = fit_line(model_points[q], model_bytes[q]);
+    common::ThreadPool::run(
+        config_.pool, n_frames - sample_count,
+        [&](std::size_t i) {
+          build_frame(sample_count + i, false, nullptr, nullptr);
+        });
   }
 }
 
@@ -165,15 +186,8 @@ std::uint64_t fnv1a(std::span<const std::uint8_t> data) noexcept {
   return h;
 }
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
+using common::put_u32;
+using common::put_u64;
 
 /// Bounds-checked little-endian reader; every decode failure throws.
 class Reader {
@@ -182,21 +196,13 @@ class Reader {
 
   std::uint32_t u32() {
     need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(
-                                                       i)])
-           << (8 * i);
+    const std::uint32_t v = common::get_u32(data_, pos_);
     pos_ += 4;
     return v;
   }
   std::uint64_t u64() {
     need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
-                                                       i)])
-           << (8 * i);
+    const std::uint64_t v = common::get_u64(data_, pos_);
     pos_ += 8;
     return v;
   }
@@ -221,12 +227,9 @@ class Reader {
 
 std::vector<std::uint8_t> VideoStore::serialize() const {
   std::vector<std::uint8_t> out;
-  out.insert(out.end(), std::begin(kStoreMagic), std::end(kStoreMagic));
+  for (std::uint8_t b : kStoreMagic) out.push_back(b);
   put_u32(out, kStoreVersion);
-  std::uint64_t fps_bits;
-  static_assert(sizeof fps_bits == sizeof fps_);
-  std::memcpy(&fps_bits, &fps_, sizeof fps_bits);
-  put_u64(out, fps_bits);
+  common::put_f64(out, fps_);
   put_u32(out, static_cast<std::uint32_t>(config_.tiers.size()));
   put_u32(out, static_cast<std::uint32_t>(frames_.size()));
   put_u64(out, grid_ != nullptr ? grid_->cell_count() : 0);
@@ -260,9 +263,7 @@ VideoStore VideoStore::deserialize(const CellGrid& grid,
   if (in.u32() != kStoreVersion)
     throw std::runtime_error("VideoStore: unsupported version");
   VideoStore store;
-  const std::uint64_t fps_bits = in.u64();
-  double fps;
-  std::memcpy(&fps, &fps_bits, sizeof fps);
+  const double fps = std::bit_cast<double>(in.u64());
   if (!(fps > 0.0) || !std::isfinite(fps))
     throw std::runtime_error("VideoStore: invalid fps");
   store.fps_ = fps;

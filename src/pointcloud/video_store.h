@@ -14,6 +14,10 @@
 #include "pointcloud/octree_codec.h"
 #include "pointcloud/video_generator.h"
 
+namespace volcast::common {
+class ThreadPool;
+}  // namespace volcast::common
+
 namespace volcast::vv {
 
 /// One quality tier of the stored video (e.g. the paper's 330K/430K/550K
@@ -44,6 +48,11 @@ struct VideoStoreConfig {
   /// sizes the remaining frames (fast; for system benches).
   bool exact = false;
   std::size_t sample_frames = 2;
+  /// Optional worker pool: independent frames are precomputed in parallel
+  /// (bit-identical tables — each frame fills its own slot; the size model
+  /// is still fitted from the sample frames in frame order). The pool must
+  /// outlive construction.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// Precomputed per-frame/per-tier/per-cell sizes of a generated video.

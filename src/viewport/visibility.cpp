@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 namespace volcast::view {
 
@@ -17,13 +20,6 @@ geo::CameraIntrinsics device_intrinsics(trace::DeviceType device) noexcept {
   return intr;
 }
 
-std::size_t VisibilityMap::visible_count() const noexcept {
-  std::size_t n = 0;
-  for (float l : lod_)
-    if (l > 0.0f) ++n;
-  return n;
-}
-
 std::vector<vv::CellId> VisibilityMap::visible_cells() const {
   std::vector<vv::CellId> out;
   for (vv::CellId c = 0; c < lod_.size(); ++c)
@@ -33,36 +29,124 @@ std::vector<vv::CellId> VisibilityMap::visible_cells() const {
 
 namespace {
 
+/// Truncation floor for the DDA entry coordinate: exact for x >= 0, and a
+/// (slightly) negative x — FP noise at the grid's lower face — lands on
+/// slot 0 just as a floor + clamp would.
+[[nodiscard]] inline std::int64_t floor_clamped(double x,
+                                                std::int64_t n) noexcept {
+  if (x <= 0.0) return 0;
+  const auto i = static_cast<std::int64_t>(x);
+  return i < n ? i : n - 1;
+}
+
 /// True when a sight ray from `eye` to `target_center` is blocked by opaque
-/// cells (dense cells clearly in front of the target).
+/// cells (cells with occupancy >= `opaque_threshold` clearly in front of the
+/// target).
+///
+/// Walks the grid cell-by-cell with an Amanatides–Woo 3D DDA and
+/// accumulates the exact opaque path length the ray crosses: enough dense
+/// surface in front hides the target, regardless of how much empty air the
+/// ray also traverses. Cost is O(cells crossed) — independent of any sample
+/// step — and the per-cell segment lengths are exact, so there is no
+/// step-size aliasing. The traversal is parameterized by the unnormalized
+/// eye->target delta (s in [0, 1]), which needs no direction normalization.
 bool ray_occluded(const vv::CellGrid& grid,
                   std::span<const std::uint32_t> occupancy,
+                  double opaque_threshold, const geo::Aabb& opaque_bounds,
                   const geo::Vec3& eye, const geo::Vec3& target_center,
-                  vv::CellId target, double opaque_threshold,
-                  double occluder_thickness_cells) {
+                  vv::CellId target, double occluder_thickness_cells) {
   const geo::Vec3 delta = target_center - eye;
   const double dist = delta.norm();
   if (dist < 1e-9) return false;
-  const geo::Vec3 dir = delta / dist;
-  // Sample the ray at quarter-cell steps, skipping a guard band at both
-  // ends, and accumulate the opaque path length the ray crosses: enough
-  // dense surface in front hides the target, regardless of how much empty
-  // air the ray also traverses.
-  const double step = grid.cell_size_m() * 0.25;
-  const double start = grid.cell_size_m() * 0.5;         // leave the eye
-  const double stop = dist - grid.cell_size_m() * 0.75;  // stop before target
-  if (stop <= start) return false;
-  const double needed = occluder_thickness_cells * grid.cell_size_m();
+  const double cell = grid.cell_size_m();
+  const double inv_dist = 1.0 / dist;
+  // Guard bands at both ends: leave the eye's own surroundings, stop before
+  // the target so it never occludes itself. All in s-units (fractions of
+  // the full segment).
+  double s0 = cell * 0.5 * inv_dist;
+  double s1 = 1.0 - cell * 0.75 * inv_dist;
+  if (s1 <= s0) return false;
+  // Opaque path length needed to occlude, in s-units.
+  const double needed = occluder_thickness_cells * cell * inv_dist;
+
+  // Clip [s0, s1] to the bounding box of the opaque cells — outside it
+  // nothing can occlude — computing each axis' reciprocal once (reused by
+  // the DDA set-up). The clipped span caps the achievable opaque path
+  // length, so a span shorter than `needed` rejects the ray with no
+  // traversal at all.
+  const double origin[3] = {eye.x, eye.y, eye.z};
+  const double d[3] = {delta.x, delta.y, delta.z};
+  const double lo[3] = {opaque_bounds.lo.x, opaque_bounds.lo.y,
+                        opaque_bounds.lo.z};
+  const double hi[3] = {opaque_bounds.hi.x, opaque_bounds.hi.y,
+                        opaque_bounds.hi.z};
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double inv[3];
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::abs(d[axis]) < 1e-15) {
+      if (origin[axis] < lo[axis] || origin[axis] > hi[axis]) return false;
+      inv[axis] = kInf;
+      continue;
+    }
+    inv[axis] = 1.0 / d[axis];
+    double sa = (lo[axis] - origin[axis]) * inv[axis];
+    double sb = (hi[axis] - origin[axis]) * inv[axis];
+    if (sa > sb) std::swap(sa, sb);
+    s0 = std::max(s0, sa);
+    s1 = std::min(s1, sb);
+    if (s0 >= s1) return false;
+  }
+  if (s1 - s0 < needed) return false;
+
+  // DDA state: integer cell coordinates of the entry point, the s of the
+  // next boundary crossing per axis (s_max), and the s advance per full
+  // cell (s_delta). Cell indexing is relative to the grid origin; the
+  // entry point lies inside the grid because the opaque box is within it.
+  const geo::Vec3 grid_lo = grid.bounds().lo;
+  const double glo[3] = {grid_lo.x, grid_lo.y, grid_lo.z};
+  const std::int64_t n[3] = {grid.nx(), grid.ny(), grid.nz()};
+  std::int64_t idx[3];
+  double s_max[3];
+  double s_delta[3];
+  const double inv_cell = 1.0 / cell;
+  for (int axis = 0; axis < 3; ++axis) {
+    const double entry = origin[axis] + d[axis] * s0;
+    idx[axis] = floor_clamped((entry - glo[axis]) * inv_cell, n[axis]);
+    if (inv[axis] == kInf) {
+      s_max[axis] = kInf;
+      s_delta[axis] = kInf;
+    } else {
+      const double next_boundary =
+          glo[axis] +
+          static_cast<double>(idx[axis] + (d[axis] > 0.0 ? 1 : 0)) * cell;
+      s_max[axis] = (next_boundary - origin[axis]) * inv[axis];
+      s_delta[axis] = cell * std::abs(inv[axis]);
+    }
+  }
+
+  const std::int64_t nx = n[0];
+  const std::int64_t nxy = n[0] * n[1];
+  double s_cur = s0;
   double opaque_length = 0.0;
-  for (double s = start; s < stop; s += step) {
-    const geo::Vec3 p = eye + dir * s;
-    if (!grid.bounds().contains(p)) continue;
-    const vv::CellId c = grid.locate(p);
-    if (c == target) continue;
-    if (static_cast<double>(occupancy[c]) >= opaque_threshold) {
-      opaque_length += step;
+  while (s_cur < s1) {
+    const double s_next = std::min({s_max[0], s_max[1], s_max[2], s1});
+    const auto c =
+        static_cast<vv::CellId>(idx[0] + nx * idx[1] + nxy * idx[2]);
+    if (c != target &&
+        static_cast<double>(occupancy[c]) >= opaque_threshold) {
+      opaque_length += s_next - s_cur;
       if (opaque_length >= needed) return true;
     }
+    if (s_next >= s1) break;
+    // Advance across the nearest boundary (ties advance one axis; the next
+    // iteration advances the other for a zero-length corner segment).
+    int step_axis = 0;
+    if (s_max[1] < s_max[0]) step_axis = 1;
+    if (s_max[2] < s_max[step_axis]) step_axis = 2;
+    idx[step_axis] += d[step_axis] > 0.0 ? 1 : -1;
+    if (idx[step_axis] < 0 || idx[step_axis] >= n[step_axis]) break;
+    s_cur = s_max[step_axis];
+    s_max[step_axis] += s_delta[step_axis];
   }
   return false;
 }
@@ -94,36 +178,105 @@ VisibilityMap compute_visibility(const vv::CellGrid& grid,
 
   const geo::Frustum frustum(pose, options.intrinsics);
   const geo::Vec3 eye = pose.position;
+  const double cell_m = grid.cell_size_m();
+  const geo::Vec3 grid_lo = grid.bounds().lo;
 
-  for (vv::CellId c = 0; c < grid.cell_count(); ++c) {
-    if (occupancy[c] == 0) continue;
-    const geo::Aabb cell = grid.cell_bounds(c);
-    if (options.viewport_culling && !frustum.intersects(cell)) continue;
-
-    const geo::Vec3 center = cell.center();
-    if (options.occlusion_culling) {
-      if (ray_occluded(grid, occupancy, eye, center, c, opaque_threshold,
-                       options.occluder_thickness_cells))
-        continue;
-      bool behind_body = false;
-      for (const BodyObstacle& body : others) {
-        if (segment_hits_body(eye, center, body)) {
-          behind_body = true;
-          break;
+  // Bounding box of the opaque cells: occlusion rays are clipped to it, so
+  // the DDA walks only the region that can actually occlude.
+  geo::Aabb opaque_bounds{{0, 0, 0}, {-1, -1, -1}};  // invalid == none
+  if (options.occlusion_culling) {
+    std::uint32_t omin[3] = {0, 0, 0};
+    std::uint32_t omax[3] = {0, 0, 0};
+    bool any_opaque = false;
+    vv::CellId oc = 0;
+    for (std::uint32_t iz = 0; iz < grid.nz(); ++iz) {
+      for (std::uint32_t iy = 0; iy < grid.ny(); ++iy) {
+        for (std::uint32_t ix = 0; ix < grid.nx(); ++ix, ++oc) {
+          if (static_cast<double>(occupancy[oc]) < opaque_threshold)
+            continue;
+          const std::uint32_t at[3] = {ix, iy, iz};
+          if (!any_opaque) {
+            for (int a = 0; a < 3; ++a) omin[a] = omax[a] = at[a];
+            any_opaque = true;
+          } else {
+            for (int a = 0; a < 3; ++a) {
+              omin[a] = std::min(omin[a], at[a]);
+              omax[a] = std::max(omax[a], at[a]);
+            }
+          }
         }
       }
-      if (behind_body) continue;
     }
+    if (any_opaque) {
+      opaque_bounds.lo =
+          grid_lo + geo::Vec3{omin[0] * cell_m, omin[1] * cell_m,
+                              omin[2] * cell_m};
+      opaque_bounds.hi =
+          grid_lo + geo::Vec3{(omax[0] + 1) * cell_m, (omax[1] + 1) * cell_m,
+                              (omax[2] + 1) * cell_m};
+    }
+  }
+  const bool cast_rays = options.occlusion_culling && opaque_bounds.valid();
 
-    double lod = 1.0;
-    if (options.distance_lod) {
-      const double d = std::max(center.distance(eye), 1e-3);
-      if (d > options.lod_reference_m) {
-        const double ratio = options.lod_reference_m / d;
-        lod = std::max(ratio * ratio, options.lod_min);
+  // Every cell is an identical cube, so the p-vertex of the box-vs-plane
+  // test sits at a fixed offset (0 or cell_m per axis, by normal sign) from
+  // the cell's lo corner. Precomputing those offsets per plane turns the
+  // per-cell test into six add+dot+compare steps with no per-axis selects,
+  // and is bit-identical to Frustum::intersects on these cells (the cell's
+  // hi corner is constructed as lo + cell_m).
+  const auto& planes = frustum.planes();
+  geo::Vec3 pvert_off[6];
+  for (std::size_t k = 0; k < 6; ++k) {
+    pvert_off[k] = {planes[k].normal.x >= 0.0 ? cell_m : 0.0,
+                    planes[k].normal.y >= 0.0 ? cell_m : 0.0,
+                    planes[k].normal.z >= 0.0 ? cell_m : 0.0};
+  }
+  const auto cell_in_frustum = [&](const geo::Vec3& lo) noexcept {
+    for (std::size_t k = 0; k < 6; ++k) {
+      if (planes[k].signed_distance(lo + pvert_off[k]) < 0.0) return false;
+    }
+    return true;
+  };
+
+  // Walk cells in (z, y, x) order maintaining the cell box incrementally —
+  // no per-cell div/mod to recover coordinates from the id.
+  vv::CellId c = 0;
+  for (std::uint32_t iz = 0; iz < grid.nz(); ++iz) {
+    for (std::uint32_t iy = 0; iy < grid.ny(); ++iy) {
+      for (std::uint32_t ix = 0; ix < grid.nx(); ++ix, ++c) {
+        if (occupancy[c] == 0) continue;
+        const geo::Vec3 lo =
+            grid_lo + geo::Vec3{ix * cell_m, iy * cell_m, iz * cell_m};
+        if (options.viewport_culling && !cell_in_frustum(lo)) continue;
+
+        const geo::Vec3 center =
+            (lo + (lo + geo::Vec3{cell_m, cell_m, cell_m})) * 0.5;
+        if (options.occlusion_culling) {
+          if (cast_rays &&
+              ray_occluded(grid, occupancy, opaque_threshold, opaque_bounds,
+                           eye, center, c, options.occluder_thickness_cells))
+            continue;
+          bool behind_body = false;
+          for (const BodyObstacle& body : others) {
+            if (segment_hits_body(eye, center, body)) {
+              behind_body = true;
+              break;
+            }
+          }
+          if (behind_body) continue;
+        }
+
+        double lod = 1.0;
+        if (options.distance_lod) {
+          const double d = std::max(center.distance(eye), 1e-3);
+          if (d > options.lod_reference_m) {
+            const double ratio = options.lod_reference_m / d;
+            lod = std::max(ratio * ratio, options.lod_min);
+          }
+        }
+        map.set(c, lod);
       }
     }
-    map.set(c, lod);
   }
   return map;
 }

@@ -40,9 +40,20 @@ class VisibilityMap {
   [[nodiscard]] std::size_t cell_count() const noexcept { return lod_.size(); }
 
   void set(vv::CellId cell, double lod = 1.0) {
-    lod_.at(cell) = static_cast<float>(lod);
+    float& slot = lod_.at(cell);
+    const bool was = slot > 0.0f;
+    slot = static_cast<float>(lod);
+    const bool now = slot > 0.0f;
+    if (now && !was)
+      ++visible_;
+    else if (was && !now)
+      --visible_;
   }
-  void reset(vv::CellId cell) { lod_.at(cell) = 0.0f; }
+  void reset(vv::CellId cell) {
+    float& slot = lod_.at(cell);
+    if (slot > 0.0f) --visible_;
+    slot = 0.0f;
+  }
 
   [[nodiscard]] bool visible(vv::CellId cell) const {
     return lod_.at(cell) > 0.0f;
@@ -50,13 +61,17 @@ class VisibilityMap {
   /// Fetch density for the cell; 0 when not visible.
   [[nodiscard]] double lod(vv::CellId cell) const { return lod_.at(cell); }
 
-  [[nodiscard]] std::size_t visible_count() const noexcept;
+  /// Number of visible cells. O(1): the count is maintained on write.
+  [[nodiscard]] std::size_t visible_count() const noexcept {
+    return visible_;
+  }
 
   /// Ids of all visible cells, ascending.
   [[nodiscard]] std::vector<vv::CellId> visible_cells() const;
 
  private:
   std::vector<float> lod_;
+  std::size_t visible_ = 0;
 };
 
 /// A person standing in the scene (shared with the mmWave blockage model;

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and refreshes the perf-trajectory files at the
+# repo root (BENCH_micro.json / BENCH_scaling.json), then compares the
+# fresh numbers against the baselines committed at HEAD: any shared
+# benchmark that slowed down by more than the tolerance fails the run.
+#
+#   tools/ci_bench.sh [build-dir]      # default: build
+#
+# Environment:
+#   VOLCAST_BENCH_TOLERANCE   allowed fractional slowdown (default 0.20)
+#   VOLCAST_BENCH_NO_CHECK=1  refresh the JSON files, skip the comparison
+#                             (use when intentionally re-baselining)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target bench_micro bench_system_scaling
+
+# Repetitions + median: single-shot times on a shared box swing well past
+# any useful tolerance; the median of 3 is stable enough to gate on.
+"$BUILD_DIR"/bench/bench_micro \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+"$BUILD_DIR"/bench/bench_system_scaling --json BENCH_scaling.json
+
+if [[ "${VOLCAST_BENCH_NO_CHECK:-0}" == "1" ]]; then
+  echo "ci_bench: baseline check skipped (VOLCAST_BENCH_NO_CHECK=1)"
+  exit 0
+fi
+
+python3 - <<'EOF'
+import json, os, subprocess, sys
+
+tol = float(os.environ.get("VOLCAST_BENCH_TOLERANCE", "0.20"))
+
+def committed(path):
+    """The baseline committed at HEAD, or None when this run seeds it."""
+    try:
+        out = subprocess.run(["git", "show", f"HEAD:{path}"],
+                             capture_output=True, check=True)
+        return json.loads(out.stdout)
+    except (subprocess.CalledProcessError, json.JSONDecodeError):
+        return None
+
+fails = []
+
+base = committed("BENCH_micro.json")
+if base is None:
+    print("ci_bench: no committed BENCH_micro.json baseline, seeding it")
+else:
+    with open("BENCH_micro.json") as f:
+        cur = json.load(f)
+    # Median cpu_time: cpu_time ignores preemption on a shared box,
+    # the median ignores the odd slow repetition.
+    def medians(doc):
+        out = {}
+        for b in doc.get("benchmarks", []):
+            if b.get("aggregate_name") == "median":
+                out[b.get("run_name", b["name"])] = \
+                    b.get("cpu_time", b.get("real_time", 0.0))
+        return out
+    ref = medians(base)
+    for name, t in medians(cur).items():
+        old = ref.get(name)
+        if old and old > 0:
+            ratio = t / old
+            if ratio > 1 + tol:
+                fails.append(f"micro {name}: {ratio:.2f}x baseline")
+
+base = committed("BENCH_scaling.json")
+if base is None:
+    print("ci_bench: no committed BENCH_scaling.json baseline, seeding it")
+else:
+    with open("BENCH_scaling.json") as f:
+        cur = json.load(f)
+    ref = {e["users"]: e for e in base.get("throughput", [])}
+    for e in cur.get("throughput", []):
+        old = ref.get(e["users"])
+        if not old:
+            continue
+        for key in ("serial_run_s", "parallel_run_s"):
+            # Entries under a quarter second are dominated by scheduler
+            # noise, not by the pipeline — only the longer runs gate.
+            if old.get(key, 0) >= 0.25:
+                ratio = e[key] / old[key]
+                if ratio > 1 + tol:
+                    fails.append(
+                        f"scaling users={e['users']} {key}: "
+                        f"{ratio:.2f}x baseline")
+
+if fails:
+    print(f"ci_bench: FAIL — regressions beyond +{tol:.0%}:")
+    for f in fails:
+        print(f"  {f}")
+    sys.exit(1)
+print(f"ci_bench: OK — no regression beyond +{tol:.0%} vs HEAD baselines")
+EOF

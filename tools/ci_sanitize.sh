@@ -1,18 +1,33 @@
 #!/usr/bin/env bash
-# Builds the full tree with AddressSanitizer + UndefinedBehaviorSanitizer
-# and runs the test suite under them. Any sanitizer report fails the run
-# (-fno-sanitize-recover=all aborts on the first finding).
+# Builds the tree under sanitizers and runs the test suite under them. Any
+# sanitizer report fails the run (-fno-sanitize-recover=all aborts on the
+# first finding).
 #
-#   tools/ci_sanitize.sh [build-dir]      # default: build-asan
+# Modes, selected by the VOLCAST_SANITIZE environment variable:
+#   address;undefined   (default) full suite under ASan + UBSan
+#   thread              TSan over the concurrent paths: the thread pool and
+#                       every test that drives the parallel session pipeline
+#                       (the rest of the suite is serial — running it under
+#                       TSan costs hours and checks nothing concurrent)
+#
+#   tools/ci_sanitize.sh [build-dir]      # default: build-asan / build-tsan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
+MODE="${VOLCAST_SANITIZE:-address;undefined}"
+
+if [[ "$MODE" == "thread" ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  TEST_FILTER=(-R 'ThreadPool|SessionParallel|Session|JointPredictor|VideoStore')
+else
+  BUILD_DIR="${1:-build-asan}"
+  TEST_FILTER=()
+fi
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DVOLCAST_SANITIZE="address;undefined"
+  -DVOLCAST_SANITIZE="$MODE"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 cd "$BUILD_DIR"
-ctest --output-on-failure -j"$(nproc)"
+ctest --output-on-failure -j"$(nproc)" "${TEST_FILTER[@]}"

@@ -43,6 +43,9 @@ int main(int argc, char** argv) {
   flags.add_number("frames", 30, "video frames before the clip loops");
   flags.add_number("aps", 1, "number of coordinated APs (1-4)");
   flags.add_number("seed", 1, "experiment seed (bit-reproducible)");
+  flags.add_number("threads", 0,
+                   "worker threads for the per-tick pipeline (0 = hardware "
+                   "concurrency, 1 = serial; result is bit-identical)");
   flags.add_number("spread", 2.0,
                    "audience arc around the content in radians "
                    "(6.28 = surround)");
@@ -93,6 +96,7 @@ int main(int argc, char** argv) {
   config.video_frames = static_cast<std::size_t>(flags.integer("frames"));
   config.ap_count = static_cast<std::size_t>(flags.integer("aps"));
   config.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  config.worker_threads = static_cast<std::size_t>(flags.integer("threads"));
   config.audience_spread_rad = flags.num("spread");
   config.start_tier = static_cast<std::size_t>(flags.integer("start-tier"));
   config.enable_multicast = !flags.on("no-multicast");
