@@ -6,16 +6,29 @@
 
 #include "common/units.h"
 #include "mmwave/link.h"
+#include "obs/metrics.h"
 
 namespace volcast::core {
 
 BeamDesigner::BeamDesigner(const Testbed& testbed, BeamDesignerConfig config)
-    : testbed_(&testbed), config_(config) {}
+    : testbed_(&testbed), config_(config) {
+  if (config_.metrics != nullptr) {
+    unicast_designs_ = &config_.metrics->counter("beam.unicast_designs");
+    multicast_designs_ = &config_.metrics->counter("beam.multicast_designs");
+    reflection_designs_ =
+        &config_.metrics->counter("beam.reflection_designs");
+    custom_selected_ = &config_.metrics->counter("beam.custom_selected");
+    stock_selected_ = &config_.metrics->counter("beam.stock_selected");
+    probe_rejects_ = &config_.metrics->counter("beam.probe_rejects");
+    rss_evals_ = &config_.metrics->counter("mmwave.rss_evals");
+  }
+}
 
 double BeamDesigner::rss(const mmwave::Awv& w, const geo::Vec3& position,
                          std::span<const geo::BodyObstacle> bodies) const {
   return mmwave::rss_dbm(testbed_->ap(), w, testbed_->channel(), position,
-                         bodies, testbed_->budget(), testbed_->blockage());
+                         bodies, testbed_->budget(), testbed_->blockage(),
+                         rss_evals_);
 }
 
 GroupBeam BeamDesigner::finish(
@@ -38,12 +51,15 @@ GroupBeam BeamDesigner::design_unicast(
     const geo::Vec3& position,
     std::span<const geo::BodyObstacle> bodies) const {
   const geo::Vec3 positions[] = {position};
+  if (unicast_designs_ != nullptr) unicast_designs_->add();
   if (config_.enable_custom_beams) {
     // Predicted-position steering: full aperture, no beam search.
+    if (custom_selected_ != nullptr) custom_selected_->add();
     return finish(testbed_->ap().steer_at(position), true, positions, bodies);
   }
   const std::size_t sector =
       testbed_->codebook().best_beam_toward(testbed_->ap(), position);
+  if (stock_selected_ != nullptr) stock_selected_->add();
   return finish(testbed_->codebook().beam(sector), false, positions, bodies);
 }
 
@@ -53,17 +69,24 @@ GroupBeam BeamDesigner::design_multicast(
     std::span<const geo::Vec3> others) const {
   if (positions.empty())
     throw std::invalid_argument("design_multicast: empty group");
+  if (multicast_designs_ != nullptr) multicast_designs_->add();
 
   // Stock fallback: the best common sector of the default codebook.
   const std::size_t common =
       testbed_->codebook().best_common_beam(testbed_->ap(), positions);
   GroupBeam stock = finish(testbed_->codebook().beam(common), false,
                            positions, bodies);
-  if (positions.size() == 1 || !config_.enable_custom_beams) return stock;
+  if (positions.size() == 1 || !config_.enable_custom_beams) {
+    if (stock_selected_ != nullptr) stock_selected_->add();
+    return stock;
+  }
 
   // Fast path from the paper: if every member already has high RSS under
   // the stock common beam, keep it.
-  if (stock.min_member_rss_dbm >= config_.default_beam_good_dbm) return stock;
+  if (stock.min_member_rss_dbm >= config_.default_beam_good_dbm) {
+    if (stock_selected_ != nullptr) stock_selected_->add();
+    return stock;
+  }
 
   // Synthesize the multi-lobe beam from per-member steered beams weighted
   // by measured per-member RSS (linear).
@@ -83,11 +106,19 @@ GroupBeam BeamDesigner::design_multicast(
   // Probe before use (Section 5): the custom beam must actually improve the
   // weakest member and must not blast a non-member.
   if (custom.min_member_rss_dbm <
-      stock.min_member_rss_dbm + config_.min_improvement_db)
+      stock.min_member_rss_dbm + config_.min_improvement_db) {
+    if (probe_rejects_ != nullptr) probe_rejects_->add();
+    if (stock_selected_ != nullptr) stock_selected_->add();
     return stock;
-  for (const geo::Vec3& other : others) {
-    if (rss(custom.awv, other, bodies) > config_.max_spill_dbm) return stock;
   }
+  for (const geo::Vec3& other : others) {
+    if (rss(custom.awv, other, bodies) > config_.max_spill_dbm) {
+      if (probe_rejects_ != nullptr) probe_rejects_->add();
+      if (stock_selected_ != nullptr) stock_selected_->add();
+      return stock;
+    }
+  }
+  if (custom_selected_ != nullptr) custom_selected_->add();
   return custom;
 }
 
@@ -98,6 +129,7 @@ GroupBeam BeamDesigner::design_reflection(
   // paths — the whole point is to route around them) and keep the one with
   // the best *achievable* RSS: the geometrically shortest bounce can sit
   // behind the array's element pattern and be useless.
+  if (reflection_designs_ != nullptr) reflection_designs_->add();
   const auto paths = testbed_->channel().paths(
       testbed_->ap().pose().position, position, {}, testbed_->blockage());
   GroupBeam best{};

@@ -17,6 +17,11 @@
 #include "core/testbed.h"
 #include "mmwave/beam_design.h"
 
+namespace volcast::obs {
+class Counter;
+class MetricRegistry;
+}  // namespace volcast::obs
+
 namespace volcast::core {
 
 /// Designer options.
@@ -33,6 +38,11 @@ struct BeamDesignerConfig {
   /// Probe rejection: the custom beam must beat the stock common beam's
   /// worst member by at least this margin.
   double min_improvement_db = 0.5;
+  /// Optional telemetry sink: design counts and custom/stock/probe-reject
+  /// outcomes are recorded as counters (atomic bumps — design decisions are
+  /// unaffected). The registry must outlive the designer; safe to share a
+  /// designer across parallel lanes.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Outcome of designing one group beam.
@@ -75,6 +85,14 @@ class BeamDesigner {
  private:
   const Testbed* testbed_;
   BeamDesignerConfig config_;
+  // Telemetry handles (null when config_.metrics is null).
+  obs::Counter* unicast_designs_ = nullptr;
+  obs::Counter* multicast_designs_ = nullptr;
+  obs::Counter* reflection_designs_ = nullptr;
+  obs::Counter* custom_selected_ = nullptr;
+  obs::Counter* stock_selected_ = nullptr;
+  obs::Counter* probe_rejects_ = nullptr;
+  obs::Counter* rss_evals_ = nullptr;
 
   [[nodiscard]] double rss(const mmwave::Awv& w, const geo::Vec3& position,
                            std::span<const geo::BodyObstacle> bodies) const;

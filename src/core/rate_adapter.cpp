@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace volcast::core {
 
 const char* to_string(AdaptationPolicy policy) noexcept {
@@ -16,9 +18,28 @@ const char* to_string(AdaptationPolicy policy) noexcept {
   return "?";
 }
 
-RateAdapter::RateAdapter(RateAdapterConfig config) : config_(config) {}
+RateAdapter::RateAdapter(RateAdapterConfig config) : config_(config) {
+  if (config_.metrics != nullptr) {
+    decisions_ = &config_.metrics->counter("rate.decisions");
+    upgrades_ = &config_.metrics->counter("rate.upgrades");
+    downgrades_ = &config_.metrics->counter("rate.downgrades");
+    prefetches_ = &config_.metrics->counter("rate.prefetches");
+  }
+}
 
 AdaptationDecision RateAdapter::decide(const AdaptationInput& input) const {
+  AdaptationDecision out = decide_impl(input);
+  if (decisions_ != nullptr) {
+    decisions_->add();
+    if (out.tier > input.current_tier) upgrades_->add();
+    if (out.tier < input.current_tier) downgrades_->add();
+    if (out.prefetch) prefetches_->add();
+  }
+  return out;
+}
+
+AdaptationDecision RateAdapter::decide_impl(
+    const AdaptationInput& input) const {
   AdaptationDecision out;
   const std::size_t top = input.tier_count > 0 ? input.tier_count - 1 : 0;
   out.tier = std::min(input.current_tier, top);

@@ -10,6 +10,11 @@
 #include <cstddef>
 #include <vector>
 
+namespace volcast::obs {
+class Counter;
+class MetricRegistry;
+}  // namespace volcast::obs
+
 namespace volcast::core {
 
 /// Input state for one user's decision.
@@ -47,6 +52,10 @@ struct RateAdapterConfig {
   /// Upgrade only when predicted bandwidth exceeds the next tier's demand
   /// by this safety factor.
   double headroom = 1.15;
+  /// Optional telemetry sink: decision / upgrade / downgrade / prefetch
+  /// counters (atomic bumps — decisions are unaffected). The registry must
+  /// outlive the adapter; decide() stays safe from parallel lanes.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Stateless per-decision adapter.
@@ -61,7 +70,15 @@ class RateAdapter {
   }
 
  private:
+  [[nodiscard]] AdaptationDecision decide_impl(
+      const AdaptationInput& input) const;
+
   RateAdapterConfig config_;
+  // Telemetry handles (null when config_.metrics is null).
+  obs::Counter* decisions_ = nullptr;
+  obs::Counter* upgrades_ = nullptr;
+  obs::Counter* downgrades_ = nullptr;
+  obs::Counter* prefetches_ = nullptr;
 };
 
 }  // namespace volcast::core

@@ -15,6 +15,7 @@
 #include "fault/injector.h"
 #include "mmwave/link.h"
 #include "mmwave/sls.h"
+#include "obs/telemetry.h"
 #include "pointcloud/video_store.h"
 #include "sim/event_queue.h"
 #include "sim/player.h"
@@ -149,6 +150,10 @@ struct Session::Impl {
   std::size_t sls_outage_ticks = 0;
   double scheduled_airtime = 0.0;
 
+  // Telemetry (null = disabled; every hook below is one pointer test).
+  obs::Telemetry* tel = nullptr;
+  obs::Counter* rss_evals = nullptr;
+
   static MultiApConfig multi_ap_config(const SessionConfig& c) {
     MultiApConfig mc;
     mc.ap_count = std::max<std::size_t>(c.ap_count, 1);
@@ -189,6 +194,7 @@ struct Session::Impl {
     jc.ap_position =
         tb.config().ap_position - tb.config().content_floor;
     jc.pool = pool;
+    jc.metrics = c.telemetry != nullptr ? &c.telemetry->metrics() : nullptr;
     return jc;
   }
 
@@ -207,8 +213,12 @@ struct Session::Impl {
                  std::max<std::size_t>(c.ap_count, 1), c.seed ^ 0xfa17ULL),
         health(c.user_count, fault::HealthMonitor(c.health)),
         has_faults(!c.fault_plan.empty()) {
+    tel = config.telemetry;
+    if (tel != nullptr)
+      rss_evals = &tel->metrics().counter("mmwave.rss_evals");
     BeamDesignerConfig bd;
     bd.enable_custom_beams = c.enable_custom_beams;
+    bd.metrics = tel != nullptr ? &tel->metrics() : nullptr;
     for (std::size_t a = 0; a < coordinator.ap_count(); ++a)
       designers.emplace_back(coordinator.ap(a), bd);
     mitigator = BlockageMitigator(coordinator.ap(0), designers.front(),
@@ -247,6 +257,8 @@ struct Session::Impl {
                 0, 0, 0, {}, 0.0, false};
       users.push_back(std::move(user));
     }
+    if (tel != nullptr)
+      for (User& user : users) user.player.bind_metrics(&tel->metrics());
   }
 
   // The mitigator needs a designer reference at construction; a static
@@ -279,6 +291,20 @@ SessionResult Session::Impl::run() {
 
   const auto& mcs = coordinator.ap(0).mcs();
 
+  if (tel != nullptr) {
+    obs::SessionMeta meta;
+    meta.users = static_cast<std::uint32_t>(n);
+    meta.aps = static_cast<std::uint32_t>(coordinator.ap_count());
+    meta.fps = config.fps;
+    meta.duration_s = config.duration_s;
+    meta.seed = config.seed;
+    tel->begin_session(meta);
+  }
+  // Per-user event slots for the parallel link lanes, merged serially in
+  // user order after each fan-out (same discipline as the counter tallies).
+  std::vector<obs::EventBuffer> lane_events(tel != nullptr ? n : 0);
+  std::vector<std::size_t> prev_tier(tel != nullptr ? n : 0);
+
   // Fault state; inert (and cost-free on the hot paths) with an empty plan.
   std::array<bool, 4> ap_up{};
   ap_up.fill(true);
@@ -290,21 +316,43 @@ SessionResult Session::Impl::run() {
 
   for (std::size_t tick = 0; tick < ticks; ++tick) {
     const double t = static_cast<double>(tick) * dt;
+    const auto tick32 = static_cast<std::uint32_t>(tick);
     queue.run_until(t);
     const std::size_t frame = tick % config.video_frames;
 
     bool availability_changed = false;
     if (has_faults) {
-      freport.faults_injected += injector.advance(t);
+      const std::size_t fired = injector.advance(t);
+      freport.faults_injected += fired;
+      if (tel != nullptr && fired > 0) {
+        obs::Event e;
+        e.tick = tick32;
+        e.layer = obs::Layer::kFault;
+        e.type = obs::EventType::kFaultInjected;
+        e.value = static_cast<double>(fired);
+        e.has_value = true;
+        tel->record_event(e);
+      }
       for (std::size_t a = 0; a < coordinator.ap_count(); ++a) {
         const bool up = !injector.ap_down(a);
-        if (up != ap_up[a]) availability_changed = true;
+        if (up != ap_up[a]) {
+          availability_changed = true;
+          if (tel != nullptr) {
+            obs::Event e;
+            e.tick = tick32;
+            e.layer = obs::Layer::kFault;
+            e.type = up ? obs::EventType::kApUp : obs::EventType::kApDown;
+            e.ap = static_cast<std::uint32_t>(a);
+            tel->record_event(e);
+          }
+        }
         ap_up[a] = up;
       }
       std::fill(fault_fallback.begin(), fault_fallback.end(), 0);
     }
 
     // ---- 1. observe poses, bodies, shadowing --------------------------
+    obs::Span pose_span(tel, obs::Stage::kPose, tick32);
     std::vector<geo::Pose> local_poses(n);
     std::vector<geo::Vec3> room_pos(n);
     std::vector<geo::BodyObstacle> bodies(n);
@@ -325,8 +373,11 @@ SessionResult Session::Impl::run() {
       shadow[u] = users[u].shadowing.step(dt);
     });
     joint.observe(t, local_poses);
+    pose_span.add_cost(n);
+    pose_span.end();
 
     // ---- 2. joint prediction ------------------------------------------
+    obs::Span predict_span(tel, obs::Stage::kPredict, tick32);
     const std::size_t target_frame =
         (tick + horizon_ticks) % config.video_frames;
     view::JointPrediction prediction =
@@ -336,11 +387,15 @@ SessionResult Session::Impl::run() {
       if (forecast.user < n) users[forecast.user].blockage_forecast = true;
     }
     blockage_forecasts += prediction.blockages.size();
+    predict_span.add_cost(n * grid.cell_count());
+    predict_span.end();
 
     // ---- 3. AP assignment (refreshed every second, and immediately when
     // an AP goes dark or comes back) --------------------------------------
     if (coordinator.ap_count() > 1 &&
         (tick % 30 == 0 || availability_changed)) {
+      obs::Span assign_span(tel, obs::Stage::kAssign, tick32);
+      assign_span.add_cost(n * coordinator.ap_count());
       assignment = has_faults
                        ? coordinator.assign_users(
                              room_pos, std::span<const bool>(
@@ -366,6 +421,7 @@ SessionResult Session::Impl::run() {
     }
 
     // ---- 4. per-user unicast link state --------------------------------
+    obs::Span link_span(tel, obs::Stage::kLink, tick32);
     std::vector<double> unicast_rate(n, 0.0);
     std::vector<double> unicast_rss(n, -200.0);
     const mmwave::SlsProcedure sls;
@@ -382,6 +438,17 @@ SessionResult Session::Impl::run() {
     std::vector<LinkTally> link_tally(n);
     pool.parallel_for(n, [&](std::size_t u) {
       LinkTally& tally = link_tally[u];
+      // Telemetry events land in this lane's own slot (merged serially in
+      // user order below); counters are atomic and commutative.
+      const auto push_event = [&](obs::Layer layer, obs::EventType type) {
+        if (tel == nullptr) return;
+        obs::Event e;
+        e.tick = tick32;
+        e.layer = layer;
+        e.type = type;
+        e.user = static_cast<std::uint32_t>(u);
+        lane_events[u].push_back(e);
+      };
       if (has_faults && (absent(u) || !ap_up[assignment[u]])) {
         // Churned out, or the serving AP is dark: no delivery path at all
         // this tick. The player rides its buffer until recovery.
@@ -423,6 +490,7 @@ SessionResult Session::Impl::run() {
             use_custom = false;
           } else if (injector.probe_fail(u)) {
             ++tally.probe_retries;
+            push_event(obs::Layer::kMmwave, obs::EventType::kProbeRetry);
             st.probe_backoff_ticks = st.probe_backoff_next;
             st.probe_backoff_next = std::min(st.probe_backoff_next * 2, 16);
             use_custom = false;
@@ -439,6 +507,7 @@ SessionResult Session::Impl::run() {
           serving = tb.codebook().beam(
               tb.codebook().best_beam_toward(tb.ap(), room_pos[u]));
           ++tally.fallback_stock_beams;
+          push_event(obs::Layer::kMmwave, obs::EventType::kFallbackStockBeam);
           fault_fallback[u] = 1;
         }
       } else {
@@ -450,6 +519,7 @@ SessionResult Session::Impl::run() {
               1, static_cast<int>(std::ceil(
                      sls.outage_s(tb.codebook()) * config.fps)));
           ++tally.sls_sweeps;
+          push_event(obs::Layer::kMmwave, obs::EventType::kSlsSweep);
         };
         if (st.sls_remaining_ticks > 0) {
           --st.sls_remaining_ticks;
@@ -472,10 +542,11 @@ SessionResult Session::Impl::run() {
         }
         const double serving_rss =
             mmwave::rss_dbm(tb.ap(), st.serving_awv, tb.channel(),
-                            room_pos[u], others, tb.budget(), tb.blockage());
+                            room_pos[u], others, tb.budget(), tb.blockage(),
+                            rss_evals);
         const double best_rss = mmwave::best_beam_rss_dbm(
             tb.ap(), tb.codebook(), tb.channel(), room_pos[u], others,
-            tb.budget(), tb.blockage());
+            tb.budget(), tb.blockage(), rss_evals);
         // Re-train when the sector went stale — or when the link fell
         // below the usable floor, which a reactive device cannot tell
         // apart from misalignment. Sweeping into a body blockage is
@@ -488,7 +559,7 @@ SessionResult Session::Impl::run() {
 
       double rss = mmwave::rss_dbm(tb.ap(), serving, tb.channel(),
                                    room_pos[u], others, tb.budget(),
-                                   tb.blockage()) +
+                                   tb.blockage(), rss_evals) +
                    shadow[u];
       // Reflection override from an earlier mitigation action: use it when
       // it currently beats the (possibly blocked) line of sight.
@@ -496,11 +567,13 @@ SessionResult Session::Impl::run() {
           !users[u].reflection_awv.empty()) {
         const double refl =
             mmwave::rss_dbm(tb.ap(), users[u].reflection_awv, tb.channel(),
-                            room_pos[u], others, tb.budget(), tb.blockage()) +
+                            room_pos[u], others, tb.budget(), tb.blockage(),
+                            rss_evals) +
             shadow[u];
         if (refl > rss) {
           rss = refl;
           ++tally.reflection_switches;
+          push_event(obs::Layer::kMmwave, obs::EventType::kReflectionSwitch);
         }
         --users[u].reflection_ticks;
       }
@@ -514,11 +587,13 @@ SessionResult Session::Impl::run() {
           const double refl_rss =
               mmwave::rss_dbm(tb.ap(), refl_beam.awv, tb.channel(),
                               room_pos[u], others, tb.budget(),
-                              tb.blockage()) +
+                              tb.blockage(), rss_evals) +
               shadow[u];
           if (refl_rss > rss) {
             rss = refl_rss;
             ++tally.fallback_reflection_beams;
+            push_event(obs::Layer::kMmwave,
+                       obs::EventType::kFallbackReflection);
           }
         }
       }
@@ -539,13 +614,25 @@ SessionResult Session::Impl::run() {
       sls_outage_ticks += tally.sls_outage_ticks;
       reflection_switches += tally.reflection_switches;
     }
+    if (tel != nullptr) {
+      for (std::size_t u = 0; u < n; ++u) {
+        tel->append(lane_events[u]);
+        lane_events[u].clear();
+      }
+    }
+    link_span.add_cost(n * n);
+    link_span.end();
 
     // ---- 5. rate adaptation --------------------------------------------
+    obs::Span adapt_span(tel, obs::Stage::kAdapt, tick32);
     RateAdapterConfig rc;
     rc.policy = config.adaptation;
     rc.low_buffer_s = 0.75 / config.fps;   // under one frame buffered
     rc.high_buffer_s = 1.6 / config.fps;   // healthy: > 1.6 frames
+    rc.metrics = tel != nullptr ? &tel->metrics() : nullptr;
     const RateAdapter adapter(rc);
+    if (tel != nullptr)
+      for (std::size_t u = 0; u < n; ++u) prev_tier[u] = users[u].tier;
     std::vector<std::size_t> ap_active(coordinator.ap_count(), 0);
     for (std::size_t u = 0; u < n; ++u)
       if (unicast_rate[u] > 0.0) ++ap_active[assignment[u]];
@@ -588,9 +675,26 @@ SessionResult Session::Impl::run() {
     });
     for (std::size_t drops : tier_drop_tally)
       freport.fallback_tier_drops += drops;
+    if (tel != nullptr) {
+      for (std::size_t u = 0; u < n; ++u) {
+        if (users[u].tier == prev_tier[u]) continue;
+        obs::Event e;
+        e.tick = tick32;
+        e.layer = obs::Layer::kRate;
+        e.type = obs::EventType::kTierChange;
+        e.user = static_cast<std::uint32_t>(u);
+        e.value = static_cast<double>(users[u].tier);
+        e.has_value = true;
+        tel->record_event(e);
+      }
+    }
+    adapt_span.add_cost(n);
+    adapt_span.end();
 
     // ---- 6. proactive blockage mitigation ------------------------------
     if (config.enable_blockage_mitigation) {
+      obs::Span mitigate_span(tel, obs::Stage::kMitigate, tick32);
+      mitigate_span.add_cost(prediction.blockages.size());
       const auto actions = mitigator.plan(prediction.blockages,
                                           prediction.poses, unicast_rss);
       for (const MitigationAction& action : actions) {
@@ -607,6 +711,7 @@ SessionResult Session::Impl::run() {
     // ---- 7. grouping + scheduling per AP --------------------------------
     std::vector<double> app_sample_mbps(n, 0.0);
     for (std::size_t a = 0; a < coordinator.ap_count(); ++a) {
+      const auto ap32 = static_cast<std::uint32_t>(a);
       if (has_faults && !ap_up[a]) {
         // AP in outage: it schedules nothing and radiates nothing.
         concurrent_beams[a].clear();
@@ -626,6 +731,15 @@ SessionResult Session::Impl::run() {
           // Deep blockage outage: even the control PHY fails, nothing can
           // be delivered this tick. The player rides its buffer.
           ++outage_user_ticks;
+          if (tel != nullptr) {
+            obs::Event e;
+            e.tick = tick32;
+            e.layer = obs::Layer::kMmwave;
+            e.type = obs::EventType::kOutage;
+            e.user = static_cast<std::uint32_t>(u);
+            e.ap = ap32;
+            tel->record_event(e);
+          }
           continue;
         }
         members.push_back(u);
@@ -636,10 +750,20 @@ SessionResult Session::Impl::run() {
         // Air queue over budget: skip this round entirely (frame drop);
         // the buffers and the adapter absorb it.
         ++dropped_ticks;
+        if (tel != nullptr) {
+          obs::Event e;
+          e.tick = tick32;
+          e.layer = obs::Layer::kMac;
+          e.type = obs::EventType::kDroppedTick;
+          e.ap = ap32;
+          tel->record_event(e);
+        }
         backlog[a] = std::max(0.0, backlog[a] - dt);
         continue;
       }
 
+      obs::Span group_span(tel, obs::Stage::kGroup, tick32, ap32);
+      group_span.add_cost(members.size() * members.size());
       std::vector<UserState> states(members.size());
       pool.parallel_for(members.size(), [&](std::size_t i) {
         const std::size_t u = members[i];
@@ -711,7 +835,22 @@ SessionResult Session::Impl::run() {
       gc.min_iou = config.grouping_min_iou;
       const GroupingResult grouping =
           form_groups(states, gc, group_rate_fn, overlap_bits_fn);
+      group_span.end();
+      if (tel != nullptr) {
+        for (std::size_t g = 0; g < grouping.groups.size(); ++g) {
+          obs::Event e;
+          e.tick = tick32;
+          e.layer = obs::Layer::kGrouping;
+          e.type = obs::EventType::kGroupFormed;
+          e.group = static_cast<std::uint32_t>(g);
+          e.ap = ap32;
+          e.value = static_cast<double>(grouping.groups[g].size());
+          e.has_value = true;
+          tel->record_event(e);
+        }
+      }
 
+      obs::Span beam_span(tel, obs::Stage::kBeam, tick32, ap32);
       // Beam bookkeeping for the result counters and for next tick's
       // cross-AP interference screening (largest group's beam represents
       // this AP's transmission; unicast fallback below).
@@ -751,6 +890,7 @@ SessionResult Session::Impl::run() {
       });
       for (std::size_t g = 0; g < grouping.groups.size(); ++g) {
         if (grouping.groups[g].size() < 2) continue;
+        beam_span.add_cost(grouping.groups[g].size());
         GroupBeam& beam = group_beams[g];
         if (beam.custom) {
           ++custom_beam_uses;
@@ -759,7 +899,12 @@ SessionResult Session::Impl::run() {
         }
         concurrent_beams[a] = std::move(beam.awv);
       }
+      beam_span.end();
 
+      obs::Span schedule_span(tel, obs::Stage::kSchedule, tick32, ap32);
+      if (tel != nullptr)
+        mac::observe_schedule(grouping.schedule, config.mac_overheads,
+                              tel->metrics());
       const double airtime =
           grouping.schedule.airtime_s(config.mac_overheads);
       scheduled_airtime += airtime;
@@ -767,6 +912,7 @@ SessionResult Session::Impl::run() {
       const double delivery_time = t + backlog[a];
 
       for (const mac::GroupPlan& plan : grouping.schedule.groups) {
+        schedule_span.add_cost(plan.members.size());
         group_size_sum += static_cast<double>(plan.members.size());
         ++group_count;
         const bool is_multicast =
@@ -850,6 +996,15 @@ SessionResult Session::Impl::run() {
           continue;
         --users[u].prefetch_credit;
         ++users[u].frames_ahead;
+        if (tel != nullptr) {
+          obs::Event e;
+          e.tick = tick32;
+          e.layer = obs::Layer::kSession;
+          e.type = obs::EventType::kPrefetch;
+          e.user = static_cast<std::uint32_t>(u);
+          e.ap = ap32;
+          tel->record_event(e);
+        }
         const std::size_t next_frame = (frame + 1) % config.video_frames;
         const double bits = visible_bits(prediction.visibility[u], store,
                                          next_frame, users[u].tier);
@@ -875,6 +1030,8 @@ SessionResult Session::Impl::run() {
           });
         }
       }
+
+      schedule_span.end();
 
       // Viewport-prediction quality: what fraction of the cells each member
       // actually needs (at its true pose) did the prediction-driven fetch
@@ -917,6 +1074,8 @@ SessionResult Session::Impl::run() {
     }
 
     // ---- 8. app-layer observation + playback ---------------------------
+    obs::Span player_span(tel, obs::Stage::kPlayer, tick32);
+    player_span.add_cost(n);
     for (std::size_t u = 0; u < n; ++u) {
       if (app_sample_mbps[u] > 0.0)
         users[u].predictor.observe(app_sample_mbps[u], unicast_rate[u]);

@@ -32,6 +32,10 @@
 #include "sim/metrics.h"
 #include "trace/mobility.h"
 
+namespace volcast::obs {
+class Telemetry;
+}  // namespace volcast::obs
+
 namespace volcast::core {
 
 /// One row of the per-tick session timeline, delivered to the optional
@@ -110,6 +114,15 @@ struct SessionConfig {
   /// Called once per user per tick with the live session state; leave
   /// empty for no overhead. Used by volcast_sim --timeline to export CSVs.
   std::function<void(const TickSample&)> tick_observer;
+
+  /// Optional cross-layer telemetry sink (see obs/telemetry.h): per-stage
+  /// spans with deterministic logical costs, cross-layer events, and metric
+  /// counters across viewport / mmwave / MAC / rate / player layers. Null
+  /// (the default) disables telemetry entirely — the session then does one
+  /// pointer test per stage and the SessionResult is bit-identical either
+  /// way, at any worker_threads value. The sink must outlive the session
+  /// and is not flushed here: call Telemetry::write_jsonl after run().
+  obs::Telemetry* telemetry = nullptr;
 
   TestbedConfig testbed{};
   /// Per-burst MAC costs applied to every scheduled transmission.

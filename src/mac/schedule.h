@@ -12,6 +12,10 @@
 #include <cstddef>
 #include <vector>
 
+namespace volcast::obs {
+class MetricRegistry;
+}  // namespace volcast::obs
+
 namespace volcast::mac {
 
 /// One user's traffic demand and link quality within a frame interval.
@@ -72,5 +76,13 @@ struct FrameSchedule {
   /// The frame rate this schedule can sustain (1 / airtime, capped).
   [[nodiscard]] double sustainable_fps(double cap_fps = 30.0) const noexcept;
 };
+
+/// Telemetry hook: records one frame schedule into `metrics` — group /
+/// multicast-group / scheduled-user counters, a group-size histogram, and
+/// airtime + airtime-saving histograms (milliseconds). Serial-only (it
+/// creates metrics on first use); call once per AP per tick.
+void observe_schedule(const FrameSchedule& schedule,
+                      const MacOverheads& overheads,
+                      obs::MetricRegistry& metrics);
 
 }  // namespace volcast::mac

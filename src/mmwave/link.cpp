@@ -4,13 +4,16 @@
 #include <cmath>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace volcast::mmwave {
 
 double rss_dbm(const PhasedArray& tx, const Awv& w, const Channel& channel,
                const geo::Vec3& rx_pos,
                std::span<const geo::BodyObstacle> bodies,
-               const LinkBudget& budget, const BlockageModel& blockage) {
+               const LinkBudget& budget, const BlockageModel& blockage,
+               obs::Counter* evals) {
+  if (evals != nullptr) evals->add();
   const auto paths = channel.paths(tx.pose().position, rx_pos, bodies,
                                    blockage);
   double total_mw = 0.0;
@@ -31,10 +34,10 @@ double best_beam_rss_dbm(const PhasedArray& tx, const Codebook& codebook,
                          const Channel& channel, const geo::Vec3& rx_pos,
                          std::span<const geo::BodyObstacle> bodies,
                          const LinkBudget& budget,
-                         const BlockageModel& blockage) {
+                         const BlockageModel& blockage, obs::Counter* evals) {
   const std::size_t beam = codebook.best_beam_toward(tx, rx_pos);
   return rss_dbm(tx, codebook.beam(beam), channel, rx_pos, bodies, budget,
-                 blockage);
+                 blockage, evals);
 }
 
 ShadowingProcess::ShadowingProcess(double sigma_db, double coherence_time_s,

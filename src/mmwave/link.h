@@ -9,6 +9,10 @@
 #include "mmwave/mcs.h"
 #include "mmwave/phased_array.h"
 
+namespace volcast::obs {
+class Counter;
+}  // namespace volcast::obs
+
 namespace volcast::mmwave {
 
 /// Fixed terms of the link budget. Defaults are calibrated so that the
@@ -26,18 +30,22 @@ struct LinkBudget {
 ///   P_tx + G_tx(path direction) - FSPL(length) - extra losses + G_rx.
 /// (Non-coherent summing models the wideband 802.11ad waveform, whose
 /// symbol bandwidth decorrelates path phases.)
+/// `evals`, when non-null, counts link-budget evaluations (telemetry; an
+/// atomic bump, safe from parallel lanes and free of RNG interaction).
 [[nodiscard]] double rss_dbm(const PhasedArray& tx, const Awv& w,
                              const Channel& channel, const geo::Vec3& rx_pos,
                              std::span<const geo::BodyObstacle> bodies = {},
                              const LinkBudget& budget = {},
-                             const BlockageModel& blockage = {});
+                             const BlockageModel& blockage = {},
+                             obs::Counter* evals = nullptr);
 
 /// Convenience: RSS with the best codebook beam for this receiver (the
 /// unicast SLS outcome).
 [[nodiscard]] double best_beam_rss_dbm(
     const PhasedArray& tx, const Codebook& codebook, const Channel& channel,
     const geo::Vec3& rx_pos, std::span<const geo::BodyObstacle> bodies = {},
-    const LinkBudget& budget = {}, const BlockageModel& blockage = {});
+    const LinkBudget& budget = {}, const BlockageModel& blockage = {},
+    obs::Counter* evals = nullptr);
 
 /// Slow log-normal shadowing as an AR(1) process in dB; gives the RSS
 /// time series the jitter a real testbed shows without breaking

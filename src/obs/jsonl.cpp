@@ -1,0 +1,166 @@
+#include "obs/jsonl.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace volcast::obs {
+namespace {
+
+[[noreturn]] void fail(const std::string& line, const char* why) {
+  throw std::runtime_error(std::string("jsonl: ") + why + " in: " + line);
+}
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0)
+    ++i;
+}
+
+// Consumes a quoted string (no escape support — the telemetry schema never
+// emits escapes) and returns its contents.
+std::string take_string(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') fail(s, "expected '\"'");
+  const std::size_t start = ++i;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') fail(s, "escape sequences unsupported");
+    ++i;
+  }
+  if (i >= s.size()) fail(s, "unterminated string");
+  return s.substr(start, i++ - start);
+}
+
+// Consumes a number, bareword (true/false/null), or a numeric array, and
+// returns the raw token text.
+std::string take_token(const std::string& s, std::size_t& i) {
+  const std::size_t start = i;
+  if (i < s.size() && s[i] == '[') {
+    int depth = 0;
+    while (i < s.size()) {
+      if (s[i] == '[') ++depth;
+      if (s[i] == ']' && --depth == 0) {
+        ++i;
+        return s.substr(start, i - start);
+      }
+      if (s[i] == '"' || s[i] == '{') fail(s, "non-numeric array");
+      ++i;
+    }
+    fail(s, "unterminated array");
+  }
+  while (i < s.size() && s[i] != ',' && s[i] != '}') ++i;
+  if (i == start) fail(s, "empty value");
+  std::size_t end = i;
+  while (end > start &&
+         std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
+    --end;
+  return s.substr(start, end - start);
+}
+
+}  // namespace
+
+const std::string& JsonRecord::raw(const std::string& key) const {
+  const auto it = fields_.find(key);
+  if (it == fields_.end())
+    throw std::runtime_error("jsonl: missing field '" + key + "'");
+  return it->second;
+}
+
+double JsonRecord::num(const std::string& key) const {
+  const std::string& token = raw(key);
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0')
+    throw std::runtime_error("jsonl: field '" + key + "' is not a number: " +
+                             token);
+  return v;
+}
+
+std::uint64_t JsonRecord::uint(const std::string& key) const {
+  const std::string& token = raw(key);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0')
+    throw std::runtime_error("jsonl: field '" + key +
+                             "' is not an unsigned integer: " + token);
+  return static_cast<std::uint64_t>(v);
+}
+
+std::vector<double> JsonRecord::num_array(const std::string& key) const {
+  const std::string& token = raw(key);
+  if (token.size() < 2 || token.front() != '[' || token.back() != ']')
+    throw std::runtime_error("jsonl: field '" + key + "' is not an array: " +
+                             token);
+  std::vector<double> out;
+  std::size_t i = 1;
+  while (i < token.size() - 1) {
+    skip_ws(token, i);
+    if (i >= token.size() - 1) break;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str() + i, &end);
+    const std::size_t consumed =
+        static_cast<std::size_t>(end - (token.c_str() + i));
+    if (consumed == 0)
+      throw std::runtime_error("jsonl: bad array element in " + token);
+    out.push_back(v);
+    i += consumed;
+    skip_ws(token, i);
+    if (i < token.size() - 1) {
+      if (token[i] != ',')
+        throw std::runtime_error("jsonl: expected ',' in array " + token);
+      ++i;
+    }
+  }
+  return out;
+}
+
+JsonRecord parse_json_line(const std::string& line) {
+  JsonRecord record;
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') fail(line, "expected '{'");
+  ++i;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws(line, i);
+      std::string key = take_string(line, i);
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') fail(line, "expected ':'");
+      ++i;
+      skip_ws(line, i);
+      std::string value = (i < line.size() && line[i] == '"')
+                              ? take_string(line, i)
+                              : take_token(line, i);
+      record.set(std::move(key), std::move(value));
+      skip_ws(line, i);
+      if (i >= line.size()) fail(line, "unterminated object");
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      if (line[i] != ',') fail(line, "expected ',' or '}'");
+      ++i;
+    }
+  }
+  skip_ws(line, i);
+  if (i != line.size()) fail(line, "trailing content");
+  return record;
+}
+
+std::vector<JsonRecord> parse_jsonl(const std::string& text) {
+  std::vector<JsonRecord> records;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    skip_ws(line, i);
+    if (i == line.size()) continue;
+    records.push_back(parse_json_line(line));
+  }
+  return records;
+}
+
+}  // namespace volcast::obs

@@ -1,0 +1,50 @@
+// Minimal reader for the flat JSONL records Telemetry::write_jsonl emits.
+// Not a general JSON parser: objects are one level deep, values are
+// numbers, strings without escapes, or arrays of numbers — exactly the
+// telemetry schema. Throws std::runtime_error on anything else so tests
+// and `volcast_trace summarize` catch schema drift immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace volcast::obs {
+
+/// One parsed JSONL object: key -> raw token (strings unquoted, numbers
+/// and arrays verbatim).
+class JsonRecord {
+ public:
+  [[nodiscard]] bool has(const std::string& key) const {
+    return fields_.count(key) != 0;
+  }
+  /// Raw token for `key`; throws std::runtime_error when absent.
+  [[nodiscard]] const std::string& raw(const std::string& key) const;
+  [[nodiscard]] std::string str(const std::string& key) const {
+    return raw(key);
+  }
+  [[nodiscard]] double num(const std::string& key) const;
+  [[nodiscard]] std::uint64_t uint(const std::string& key) const;
+  /// Parses `key` as a JSON array of numbers.
+  [[nodiscard]] std::vector<double> num_array(const std::string& key) const;
+
+  void set(std::string key, std::string token) {
+    fields_[std::move(key)] = std::move(token);
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& fields() const {
+    return fields_;
+  }
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+/// Parses a single flat JSON object line. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] JsonRecord parse_json_line(const std::string& line);
+
+/// Parses a whole JSONL document (blank lines skipped).
+[[nodiscard]] std::vector<JsonRecord> parse_jsonl(const std::string& text);
+
+}  // namespace volcast::obs

@@ -1,0 +1,83 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace volcast::obs {
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      counts_(new std::atomic<std::uint64_t>[upper_bounds.size() + 1]) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double x) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::upper_bound(std::size_t i) const {
+  if (i >= bucket_count())
+    throw std::out_of_range("Histogram: bucket index out of range");
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Histogram::bucket_value(std::size_t i) const {
+  if (i >= bucket_count())
+    throw std::out_of_range("Histogram: bucket index out of range");
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < bucket_count(); ++i)
+    sum += counts_[i].load(std::memory_order_relaxed);
+  return sum;
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_count(); ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= target) return upper_bound(i);
+  }
+  return upper_bound(bucket_count() - 1);
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name,
+                                     std::span<const double> upper_bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(upper_bounds);
+    return *slot;
+  }
+  if (slot->bounds().size() != upper_bounds.size() ||
+      !std::equal(slot->bounds().begin(), slot->bounds().end(),
+                  upper_bounds.begin()))
+    throw std::invalid_argument("MetricRegistry: histogram '" + name +
+                                "' re-registered with different buckets");
+  return *slot;
+}
+
+}  // namespace volcast::obs

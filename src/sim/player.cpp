@@ -1,7 +1,10 @@
 #include "sim/player.h"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
+
+#include "obs/metrics.h"
 
 namespace volcast::sim {
 
@@ -15,7 +18,26 @@ Player::Player(double fps, double decode_cap_fps, std::size_t startup_frames,
     throw std::invalid_argument("Player: rates must be positive");
 }
 
+void Player::bind_metrics(obs::MetricRegistry* metrics) {
+  if (metrics == nullptr) {
+    delivered_metric_ = nullptr;
+    concealed_metric_ = nullptr;
+    played_metric_ = nullptr;
+    buffer_metric_ = nullptr;
+    return;
+  }
+  // Buffer depth in seconds: the interesting region is around the 1-2
+  // frame startup threshold (at 30 FPS one frame is 33 ms).
+  static constexpr std::array<double, 6> kBufferBounds = {
+      0.033, 0.066, 0.1, 0.2, 0.5, 1.0};
+  delivered_metric_ = &metrics->counter("player.frames_delivered");
+  concealed_metric_ = &metrics->counter("player.frames_concealed");
+  played_metric_ = &metrics->counter("player.frames_played");
+  buffer_metric_ = &metrics->histogram("player.buffer_s", kBufferBounds);
+}
+
 void Player::deliver(const BufferedFrame& frame) {
+  if (delivered_metric_ != nullptr) delivered_metric_->add();
   buffer_.push_back(frame);
   last_delivered_ = frame;
   has_last_delivered_ = true;
@@ -25,6 +47,7 @@ void Player::deliver(const BufferedFrame& frame) {
 
 bool Player::conceal() {
   if (!has_last_delivered_ || conceal_run_ >= max_conceal_run_) return false;
+  if (concealed_metric_ != nullptr) concealed_metric_->add();
   ++conceal_run_;
   ++concealed_;
   BufferedFrame held = last_delivered_;
@@ -44,6 +67,7 @@ double Player::mean_played_tier() const noexcept {
 
 void Player::advance(double dt) {
   if (dt <= 0.0) return;
+  if (buffer_metric_ != nullptr) buffer_metric_->observe(buffer_s());
   if (!playing_) {
     stall_s_ += dt;
     return;
@@ -63,6 +87,7 @@ void Player::advance(double dt) {
     buffer_.pop_front();
     playhead_accum_ -= 1.0;
     played_ += 1.0;
+    if (played_metric_ != nullptr) played_metric_->add();
     tier_sum_ += static_cast<double>(frame.quality_tier);
     ++tier_count_;
     if (has_last_tier_ && frame.quality_tier != last_tier_) ++switches_;

@@ -7,6 +7,12 @@
 #include <cstddef>
 #include <deque>
 
+namespace volcast::obs {
+class Counter;
+class Histogram;
+class MetricRegistry;
+}  // namespace volcast::obs
+
 namespace volcast::sim {
 
 /// One downloaded frame sitting in the player buffer.
@@ -59,6 +65,12 @@ class Player {
     return switches_;
   }
 
+  /// Attaches telemetry (null detaches): delivered / concealed / played
+  /// counters plus a buffer-depth histogram sampled on every advance().
+  /// Counter bumps are atomic and never change playback behavior. The
+  /// registry must outlive the player.
+  void bind_metrics(obs::MetricRegistry* metrics);
+
  private:
   double fps_;
   double decode_cap_fps_;
@@ -78,6 +90,11 @@ class Player {
   std::size_t switches_ = 0;
   bool has_last_tier_ = false;
   std::size_t last_tier_ = 0;
+  // Telemetry handles (all null when unbound).
+  obs::Counter* delivered_metric_ = nullptr;
+  obs::Counter* concealed_metric_ = nullptr;
+  obs::Counter* played_metric_ = nullptr;
+  obs::Histogram* buffer_metric_ = nullptr;
 };
 
 }  // namespace volcast::sim

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace volcast::view {
 
@@ -12,6 +13,11 @@ JointViewportPredictor::JointViewportPredictor(std::size_t user_count,
   predictors_.reserve(user_count);
   for (std::size_t u = 0; u < user_count; ++u)
     predictors_.push_back(make_predictor(config_.base_predictor));
+  if (config_.metrics != nullptr) {
+    observations_ = &config_.metrics->counter("viewport.observations");
+    predictions_ = &config_.metrics->counter("viewport.predictions");
+    forecasts_ = &config_.metrics->counter("viewport.blockage_forecasts");
+  }
 }
 
 void JointViewportPredictor::observe(double t,
@@ -22,6 +28,7 @@ void JointViewportPredictor::observe(double t,
   common::ThreadPool::run(config_.pool, poses.size(), [&](std::size_t u) {
     predictors_[u]->observe(t, poses[u]);
   });
+  if (observations_ != nullptr) observations_->add(poses.size());
 }
 
 std::vector<geo::Pose> JointViewportPredictor::predict_poses(
@@ -91,6 +98,8 @@ JointPrediction JointViewportPredictor::predict(
       });
 
   result.blockages = forecast_blockages(result.poses);
+  if (predictions_ != nullptr) predictions_->add(result.poses.size());
+  if (forecasts_ != nullptr) forecasts_->add(result.blockages.size());
   return result;
 }
 

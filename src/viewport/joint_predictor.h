@@ -25,6 +25,11 @@ namespace volcast::common {
 class ThreadPool;
 }  // namespace volcast::common
 
+namespace volcast::obs {
+class Counter;
+class MetricRegistry;
+}  // namespace volcast::obs
+
 namespace volcast::view {
 
 /// Forecast of one mmWave line-of-sight blockage event.
@@ -60,6 +65,10 @@ struct JointPredictorConfig {
   /// path (each user's outputs land in its own slot; no shared
   /// accumulation). The pool must outlive the predictor.
   common::ThreadPool* pool = nullptr;
+  /// Optional telemetry: counters for observations / predictions /
+  /// blockage forecasts land here (atomic bumps only — no effect on the
+  /// predictions themselves). The registry must outlive the predictor.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Per-user predictors + the joint reasoning layer.
@@ -96,6 +105,10 @@ class JointViewportPredictor {
  private:
   JointPredictorConfig config_;
   std::vector<std::unique_ptr<ViewportPredictor>> predictors_;
+  // Telemetry handles (null when config_.metrics is null).
+  obs::Counter* observations_ = nullptr;
+  obs::Counter* predictions_ = nullptr;
+  obs::Counter* forecasts_ = nullptr;
 };
 
 }  // namespace volcast::view

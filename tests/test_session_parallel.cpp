@@ -3,12 +3,12 @@
 // outcome must be bit-for-bit identical for every thread count.
 #include <gtest/gtest.h>
 
-#include <bit>
-#include <cstdint>
 #include <cstddef>
+#include <utility>
 
 #include "core/session.h"
 #include "fault/fault_plan.h"
+#include "session_compare.h"
 
 namespace volcast::core {
 namespace {
@@ -20,59 +20,6 @@ SessionConfig fast_config() {
   c.master_points = 40'000;
   c.video_frames = 30;
   return c;
-}
-
-// Bit-exact double comparison: 2.0 * 0.5 == 1.0 is not enough, the bits
-// must match (NaN-safe, -0.0 != +0.0).
-#define EXPECT_BITEQ(a, b)                                       \
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(a),                     \
-            std::bit_cast<std::uint64_t>(b))                     \
-      << #a " = " << (a) << " vs " << (b)
-
-void expect_identical(const SessionResult& x, const SessionResult& y) {
-  EXPECT_BITEQ(x.qoe.duration_s, y.qoe.duration_s);
-  ASSERT_EQ(x.qoe.users.size(), y.qoe.users.size());
-  for (std::size_t u = 0; u < x.qoe.users.size(); ++u) {
-    const auto& a = x.qoe.users[u];
-    const auto& b = y.qoe.users[u];
-    EXPECT_EQ(a.user, b.user);
-    EXPECT_BITEQ(a.displayed_fps, b.displayed_fps);
-    EXPECT_BITEQ(a.stall_time_s, b.stall_time_s);
-    EXPECT_BITEQ(a.stall_ratio, b.stall_ratio);
-    EXPECT_BITEQ(a.mean_quality_tier, b.mean_quality_tier);
-    EXPECT_EQ(a.quality_switches, b.quality_switches);
-    EXPECT_BITEQ(a.mean_goodput_mbps, b.mean_goodput_mbps);
-    EXPECT_BITEQ(a.viewport_miss_ratio, b.viewport_miss_ratio);
-    EXPECT_BITEQ(a.mean_m2p_latency_s, b.mean_m2p_latency_s);
-    EXPECT_BITEQ(a.max_m2p_latency_s, b.max_m2p_latency_s);
-  }
-  EXPECT_BITEQ(x.multicast_bit_share, y.multicast_bit_share);
-  EXPECT_BITEQ(x.mean_group_size, y.mean_group_size);
-  EXPECT_EQ(x.custom_beam_uses, y.custom_beam_uses);
-  EXPECT_EQ(x.stock_beam_uses, y.stock_beam_uses);
-  EXPECT_EQ(x.blockage_forecasts, y.blockage_forecasts);
-  EXPECT_EQ(x.reflection_switches, y.reflection_switches);
-  EXPECT_EQ(x.dropped_ticks, y.dropped_ticks);
-  EXPECT_EQ(x.outage_user_ticks, y.outage_user_ticks);
-  EXPECT_EQ(x.sls_sweeps, y.sls_sweeps);
-  EXPECT_EQ(x.sls_outage_ticks, y.sls_outage_ticks);
-  EXPECT_BITEQ(x.mean_airtime_utilization, y.mean_airtime_utilization);
-
-  EXPECT_EQ(x.faults.faults_injected, y.faults.faults_injected);
-  EXPECT_EQ(x.faults.recoveries, y.faults.recoveries);
-  EXPECT_BITEQ(x.faults.mean_time_to_recover_s, y.faults.mean_time_to_recover_s);
-  EXPECT_BITEQ(x.faults.max_time_to_recover_s, y.faults.max_time_to_recover_s);
-  EXPECT_BITEQ(x.faults.fault_rebuffer_s, y.faults.fault_rebuffer_s);
-  EXPECT_EQ(x.faults.group_reformations, y.faults.group_reformations);
-  EXPECT_EQ(x.faults.concealed_frames, y.faults.concealed_frames);
-  EXPECT_EQ(x.faults.skipped_frames, y.faults.skipped_frames);
-  EXPECT_EQ(x.faults.probe_retries, y.faults.probe_retries);
-  EXPECT_EQ(x.faults.fallback_stock_beams, y.faults.fallback_stock_beams);
-  EXPECT_EQ(x.faults.fallback_reflection_beams, y.faults.fallback_reflection_beams);
-  EXPECT_EQ(x.faults.fallback_tier_drops, y.faults.fallback_tier_drops);
-  EXPECT_EQ(x.faults.degraded_user_ticks, y.faults.degraded_user_ticks);
-  EXPECT_EQ(x.faults.unhealthy_user_ticks, y.faults.unhealthy_user_ticks);
-  EXPECT_EQ(x.faults.health_transitions, y.faults.health_transitions);
 }
 
 SessionResult run_with_threads(SessionConfig c, std::size_t threads) {

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the telemetry subsystem (src/obs): builds an
+# instrumented tree, drives the obs-focused tests (metric primitives, span
+# + JSONL units, the session-level determinism suite, and the MAC schedule
+# observer), then reports line coverage for every file under src/obs and
+# fails below the threshold.
+#
+#   tools/ci_coverage.sh [build-dir]     # default: build-coverage
+#
+# Threshold: VOLCAST_COVERAGE_MIN (percent, default 90). Uses gcovr when
+# installed; otherwise falls back to raw gcov + a python3 merge, so the
+# gate runs on a bare toolchain image.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-coverage}"
+MIN="${VOLCAST_COVERAGE_MIN:-90}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage" \
+  -DCMAKE_EXE_LINKER_FLAGS="--coverage" >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target volcast_tests
+
+# Zero out counts from previous runs so the report reflects this run only.
+find "$BUILD_DIR" -name '*.gcda' -delete
+
+"$BUILD_DIR/tests/volcast_tests" \
+  --gtest_filter='ObsMetrics*:Telemetry*:TelemetryDeterminism*:Jsonl*:MacEdges.*:SessionEdges.*' \
+  >/dev/null
+
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr -r . --filter 'src/obs/' --print-summary \
+    --fail-under-line "$MIN" "$BUILD_DIR"
+  exit 0
+fi
+
+# gcov fallback: run gcov over every translation unit that touched src/obs
+# (the obs library itself plus the test objects, which instantiate the
+# header-inline Span), then merge per source line across TUs.
+SCRATCH="$BUILD_DIR/coverage-report"
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+
+BUILD_DIR="$BUILD_DIR" SCRATCH="$SCRATCH" MIN="$MIN" python3 - <<'PYEOF'
+import glob, os, subprocess, sys
+
+build = os.environ["BUILD_DIR"]
+scratch = os.environ["SCRATCH"]
+minimum = float(os.environ["MIN"])
+
+gcda = glob.glob(os.path.join(build, "**", "*.gcda"), recursive=True)
+if not gcda:
+    sys.exit("ci_coverage: no .gcda files found — was the build instrumented?")
+
+for path in gcda:
+    subprocess.run(
+        ["gcov", "-p", os.path.abspath(path)],
+        cwd=scratch, check=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+# -p mangles the source path into the file name with '#' separators.
+covered = {}   # (file, line) -> hit at least once in any TU
+for report in glob.glob(os.path.join(scratch, "*.gcov")):
+    name = os.path.basename(report)
+    if "#src#obs#" not in name:
+        continue
+    source = "src/obs/" + name[name.rindex("#") + 1:-len(".gcov")]
+    with open(report) as f:
+        for line in f:
+            parts = line.split(":", 2)
+            if len(parts) < 3:
+                continue
+            count, lineno = parts[0].strip(), parts[1].strip()
+            if lineno == "0" or count == "-":
+                continue  # header lines / non-executable
+            key = (source, int(lineno))
+            covered[key] = covered.get(key, False) or count != "#####"
+
+if not covered:
+    sys.exit("ci_coverage: no src/obs lines in the gcov output")
+
+files = sorted({f for f, _ in covered})
+total_lines = total_hit = 0
+print("src/obs line coverage:")
+for f in files:
+    lines = [hit for (g, _), hit in covered.items() if g == f]
+    hit = sum(lines)
+    total_lines += len(lines)
+    total_hit += hit
+    print(f"  {f:32s} {100.0 * hit / len(lines):6.1f}%  "
+          f"({hit}/{len(lines)} lines)")
+pct = 100.0 * total_hit / total_lines
+print(f"  {'TOTAL':32s} {pct:6.1f}%  ({total_hit}/{total_lines} lines)")
+if pct < minimum:
+    sys.exit(f"ci_coverage: src/obs line coverage {pct:.1f}% "
+             f"is below the {minimum:.0f}% gate")
+print(f"ci_coverage: PASS (gate {minimum:.0f}%)")
+PYEOF

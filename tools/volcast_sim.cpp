@@ -18,6 +18,7 @@
 #include "common/table.h"
 #include "core/session.h"
 #include "fault/fault_plan.h"
+#include "obs/telemetry.h"
 #include "trace/trace_io.h"
 
 using namespace volcast;
@@ -79,6 +80,13 @@ int main(int argc, char** argv) {
   flags.add_string("timeline", "",
                    "write a per-tick CSV (t,user,buffer_s,tier,rss_dbm,"
                    "rate_mbps,blockage) to this file");
+  flags.add_string("telemetry", "",
+                   "write the cross-layer telemetry log (spans, events, "
+                   "metrics) as JSONL to this file; inspect with "
+                   "'volcast_trace summarize <file>'");
+  flags.add_switch("telemetry-no-wall",
+                   "omit wall-clock span times from the telemetry log "
+                   "(byte-identical output across runs and thread counts)");
 
   std::string error;
   if (!flags.parse(argc, argv, &error)) {
@@ -190,6 +198,12 @@ int main(int argc, char** argv) {
     };
   }
 
+  obs::TelemetryOptions telemetry_options;
+  telemetry_options.capture_wall_time = !flags.on("telemetry-no-wall");
+  obs::Telemetry telemetry(telemetry_options);
+  const std::string telemetry_path = flags.str("telemetry");
+  if (!telemetry_path.empty()) config.telemetry = &telemetry;
+
   SessionResult result;
   try {
     Session session(config);
@@ -199,6 +213,14 @@ int main(int argc, char** argv) {
   }
   if (timeline.is_open())
     std::printf("timeline written to %s\n", timeline_path.c_str());
+  if (!telemetry_path.empty()) {
+    std::ofstream out(telemetry_path);
+    if (!out) return fail("cannot open " + telemetry_path);
+    telemetry.write_jsonl(out);
+    std::printf("telemetry written to %s (%zu spans, %zu events)\n",
+                telemetry_path.c_str(), telemetry.span_count(),
+                telemetry.event_count());
+  }
 
   std::printf("session: %zu %s users, %.1f s, %zu AP(s)\n",
               config.user_count, device.c_str(), config.duration_s,

@@ -6,15 +6,22 @@
 //   volcast_trace --summary
 //       prints per-user motion statistics of the study;
 //   volcast_trace --iou
-//       prints the pairwise viewport-similarity matrix (50 cm cells).
+//       prints the pairwise viewport-similarity matrix (50 cm cells);
+//   volcast_trace summarize telemetry.jsonl
+//       renders a `volcast_sim --telemetry` log as per-stage cost/time
+//       percentile tables plus event and metric summaries.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/jsonl.h"
 #include "pointcloud/video_generator.h"
 #include "trace/trace_io.h"
 #include "trace/user_study.h"
@@ -94,9 +101,124 @@ void print_iou(const trace::UserStudy& study) {
   }
 }
 
+/// `volcast_trace summarize <telemetry.jsonl>`: per-stage span tables
+/// (logical cost always; wall time when the log captured it), event counts
+/// by layer/type, and the counter snapshot.
+int summarize(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "volcast_trace: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<obs::JsonRecord> records;
+  try {
+    records = obs::parse_jsonl(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "volcast_trace: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  struct StageStats {
+    std::size_t count = 0;
+    EmpiricalDistribution cost;
+    EmpiricalDistribution wall_us;
+  };
+  std::map<std::string, StageStats> stages;
+  std::map<std::string, std::size_t> events;
+  std::vector<std::pair<std::string, std::string>> counters;
+  bool has_wall = false;
+  std::size_t ticks = 0;
+
+  try {
+    for (const obs::JsonRecord& record : records) {
+      const std::string kind = record.str("record");
+      if (kind == "meta") {
+        std::printf("session: %llu users, %llu AP(s), %.0f fps, %.1f s, "
+                    "seed %llu\n",
+                    static_cast<unsigned long long>(record.uint("users")),
+                    static_cast<unsigned long long>(record.uint("aps")),
+                    record.num("fps"), record.num("duration_s"),
+                    static_cast<unsigned long long>(record.uint("seed")));
+      } else if (kind == "span") {
+        StageStats& s = stages[record.str("stage")];
+        ++s.count;
+        s.cost.add(record.num("cost"));
+        if (record.has("wall_us")) {
+          has_wall = true;
+          s.wall_us.add(record.num("wall_us"));
+        }
+        ticks = std::max(ticks,
+                         static_cast<std::size_t>(record.uint("tick")) + 1);
+      } else if (kind == "event") {
+        ++events[record.str("layer") + "/" + record.str("type")];
+      } else if (kind == "counter") {
+        counters.emplace_back(record.str("name"), record.raw("value"));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "volcast_trace: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  std::printf("%zu ticks\n\nper-stage spans:\n", ticks);
+  AsciiTable table;
+  if (has_wall) {
+    table.header({"stage", "spans", "cost p50", "cost p99", "wall p50 us",
+                  "wall p99 us", "wall total ms"});
+  } else {
+    table.header({"stage", "spans", "cost p50", "cost p99", "cost total"});
+  }
+  for (auto& [stage, s] : stages) {
+    std::vector<std::string> row = {stage, std::to_string(s.count),
+                                    AsciiTable::num(s.cost.percentile(50), 0),
+                                    AsciiTable::num(s.cost.percentile(99), 0)};
+    if (has_wall) {
+      row.push_back(AsciiTable::num(s.wall_us.percentile(50), 1));
+      row.push_back(AsciiTable::num(s.wall_us.percentile(99), 1));
+      const double total_us =
+          s.wall_us.mean() * static_cast<double>(s.wall_us.count());
+      row.push_back(AsciiTable::num(total_us / 1e3, 2));
+    } else {
+      const double total =
+          s.cost.mean() * static_cast<double>(s.cost.count());
+      row.push_back(AsciiTable::num(total, 0));
+    }
+    table.row(row);
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (!events.empty()) {
+    std::printf("\nevents:\n");
+    AsciiTable etable;
+    etable.header({"layer/type", "count"});
+    for (const auto& [key, count] : events)
+      etable.row({key, std::to_string(count)});
+    std::printf("%s", etable.render().c_str());
+  }
+  if (!counters.empty()) {
+    std::printf("\ncounters:\n");
+    AsciiTable ctable;
+    ctable.header({"name", "value"});
+    for (const auto& [name, value] : counters) ctable.row({name, value});
+    std::printf("%s", ctable.render().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Sub-command form (positional, before flag parsing): summarize <file>.
+  if (argc >= 2 && std::string(argv[1]) == "summarize") {
+    if (argc != 3) {
+      std::fprintf(stderr,
+                   "usage: volcast_trace summarize <telemetry.jsonl>\n");
+      return 1;
+    }
+    return summarize(argv[2]);
+  }
   FlagParser flags("volcast_trace", "6DoF viewing-trace toolkit");
   flags.add_number("users", 32, "study participants (half PH, half HM)");
   flags.add_number("samples", 300, "samples per trace at 30 Hz");
