@@ -1,0 +1,116 @@
+// Fleet-runner scaling: wall clock of N independently-seeded sessions run
+// serially vs. across the fleet thread pool, plus the aggregate fleet QoE.
+// The FleetResult is bit-identical at any parallelism, so only time varies
+// — the speedup column is the whole point of the fleet dimension (outer
+// parallelism scales past a single session's per-tick fan-out).
+//
+// `--json PATH` writes the machine-readable form consumed by
+// tools/ci_bench.sh (merged into BENCH_scaling.json as the "fleet" key).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/table.h"
+#include "core/fleet.h"
+
+using namespace volcast;
+using namespace volcast::core;
+
+namespace {
+
+FleetConfig fleet_config(std::size_t sessions, std::size_t parallel) {
+  FleetConfig fc;
+  fc.session.user_count = 4;
+  fc.session.duration_s = 2.0;
+  fc.session.master_points = 100'000;
+  fc.session.video_frames = 30;
+  // One lane per session: the fleet dimension provides the parallelism.
+  fc.session.worker_threads = 1;
+  fc.sessions = sessions;
+  fc.parallel_sessions = parallel;
+  return fc;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int run(const char* json_path) {
+  constexpr std::size_t kParallelSessions = 8;
+  std::FILE* out = nullptr;
+  if (json_path != nullptr) {
+    out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_fleet: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"fleet\",\n"
+                 "  \"config\": {\"users\": 4, \"duration_s\": 2.0, "
+                 "\"master_points\": 100000, \"parallel_sessions\": %zu},\n"
+                 "  \"scaling\": [",
+                 kParallelSessions);
+  }
+
+  AsciiTable table;
+  table.header({"sessions", "serial s", "parallel s", "speedup",
+                "supported", "mean fps"});
+  bool first = true;
+  for (std::size_t sessions : {2u, 4u, 8u}) {
+    // Best of 3: scheduler noise on a shared box only ever adds time, so
+    // the minimum is the stable estimator the regression check needs.
+    constexpr int kReps = 3;
+    double serial_s = 0.0;
+    double parallel_s = 0.0;
+    FleetResult r;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      r = run_fleet(fleet_config(sessions, 1));
+      const double serial = seconds_since(t0);
+      if (rep == 0 || serial < serial_s) serial_s = serial;
+
+      t0 = std::chrono::steady_clock::now();
+      const FleetResult rp = run_fleet(fleet_config(sessions, kParallelSessions));
+      const double parallel = seconds_since(t0);
+      if (rep == 0 || parallel < parallel_s) parallel_s = parallel;
+      if (rp.total_users != r.total_users) return 1;  // impossible
+    }
+    const double speedup = serial_s / parallel_s;
+    if (out != nullptr) {
+      std::fprintf(out,
+                   "%s\n    {\"sessions\": %zu, \"serial_s\": %.4f, "
+                   "\"parallel_s\": %.4f, \"speedup\": %.3f, "
+                   "\"supported_users\": %zu, \"total_users\": %zu, "
+                   "\"mean_fps\": %.3f}",
+                   first ? "" : ",", sessions, serial_s, parallel_s, speedup,
+                   r.supported_users, r.total_users, r.mean_displayed_fps);
+      first = false;
+    }
+    table.row({std::to_string(sessions), AsciiTable::num(serial_s, 2),
+               AsciiTable::num(parallel_s, 2), AsciiTable::num(speedup, 2),
+               std::to_string(r.supported_users) + "/" +
+                   std::to_string(r.total_users),
+               AsciiTable::num(r.mean_displayed_fps, 1)});
+  }
+  if (out != nullptr) {
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+  }
+  std::printf("=== Fleet scaling: serial vs %zu concurrent sessions ===\n\n",
+              kParallelSessions);
+  std::printf("%s", table.render().c_str());
+  if (json_path != nullptr) std::printf("wrote %s\n", json_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--json") == 0) return run(argv[2]);
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+    return 2;
+  }
+  return run(nullptr);
+}

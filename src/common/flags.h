@@ -3,12 +3,70 @@
 // generated --help text. Deliberately tiny — no external dependencies.
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace volcast {
+
+/// Fixed name -> value mapping for enum-valued flags. Replaces the
+/// hand-rolled if/else ladders in the tools:
+///
+///   const FlagChoices<AdaptationPolicy> kAdaptation{
+///       {"none", AdaptationPolicy::kNone}, ...};
+///   auto policy = kAdaptation.parse(flags.str("adaptation"));
+///   if (!policy) return fail("unknown --adaptation (expected " +
+///                            kAdaptation.names() + ")");
+template <typename T>
+class FlagChoices {
+ public:
+  FlagChoices(std::initializer_list<std::pair<const char*, T>> items)
+      : items_(items.begin(), items.end()) {}
+
+  /// The mapped value, or nullopt when `name` is not a known choice.
+  [[nodiscard]] std::optional<T> parse(const std::string& name) const {
+    for (const auto& [known, value] : items_)
+      if (name == known) return value;
+    return std::nullopt;
+  }
+
+  /// "a | b | c" for help and error text.
+  [[nodiscard]] std::string names() const {
+    std::string out;
+    for (const auto& [known, value] : items_) {
+      if (!out.empty()) out += " | ";
+      out += known;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<const char*, T>> items_;
+};
+
+/// Splits "key=value,key=value" pairs (the --policy flag syntax). Returns
+/// nullopt — with `error` naming the offending chunk — on a missing '='.
+[[nodiscard]] inline std::optional<std::vector<std::pair<std::string, std::string>>>
+parse_key_value_list(const std::string& text, std::string* error = nullptr) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) *error = "expected key=value, got '" + item + "'";
+      return std::nullopt;
+    }
+    out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return out;
+}
 
 /// Declarative flag set with parsing and help rendering.
 class FlagParser {
@@ -85,6 +143,15 @@ class FlagParser {
   }
   [[nodiscard]] long integer(const std::string& name) const {
     return std::stol(entries_.at(name).value);
+  }
+  /// integer() clamped at zero and converted — the cast every count-valued
+  /// flag (users, frames, threads, ...) in the tools otherwise spells out.
+  [[nodiscard]] std::size_t size(const std::string& name) const {
+    const long v = integer(name);
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+  }
+  [[nodiscard]] std::uint64_t u64(const std::string& name) const {
+    return static_cast<std::uint64_t>(std::stoull(entries_.at(name).value));
   }
   [[nodiscard]] bool on(const std::string& name) const {
     return entries_.at(name).value == "true";

@@ -1,0 +1,77 @@
+#include "core/fleet.h"
+
+#include <stdexcept>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+
+namespace volcast::core {
+
+void FleetConfig::validate() const {
+  if (sessions == 0)
+    throw std::invalid_argument("FleetConfig: sessions must be > 0");
+  if (!(supported_fps_threshold >= 0.0))
+    throw std::invalid_argument(
+        "FleetConfig: supported_fps_threshold must be >= 0");
+  if (session.telemetry != nullptr)
+    throw std::invalid_argument(
+        "FleetConfig: the session template cannot carry a telemetry sink "
+        "(sessions run concurrently; attach per-session sinks by running "
+        "Sessions directly)");
+  if (session.tick_observer)
+    throw std::invalid_argument(
+        "FleetConfig: the session template cannot carry a tick_observer "
+        "(sessions run concurrently)");
+  session.validate();
+}
+
+FleetResult run_fleet(const FleetConfig& config) {
+  config.validate();
+
+  FleetResult result;
+  result.sessions.resize(config.sessions);
+  {
+    // Sessions are heavyweight (each precomputes its video store), so the
+    // pool fans out whole sessions; each writes only its own slot. Inner
+    // session parallelism multiplies with this — for large fleets prefer
+    // session.worker_threads = 1 and let the fleet dimension scale.
+    common::ThreadPool pool(config.parallel_sessions);
+    pool.parallel_for(config.sessions, [&](std::size_t k) {
+      SessionConfig sc = config.session;
+      sc.seed = config.session.seed + static_cast<std::uint64_t>(k);
+      Session session(std::move(sc));
+      result.sessions[k] = session.run();
+    });
+  }
+
+  // Aggregates folded serially, in slot order then user order.
+  RunningStats fps_stats;
+  RunningStats stall_stats;
+  RunningStats tier_stats;
+  EmpiricalDistribution fps_dist;
+  EmpiricalDistribution stall_dist;
+  for (const SessionResult& sr : result.sessions) {
+    for (const sim::UserQoe& q : sr.qoe.users) {
+      ++result.total_users;
+      if (q.displayed_fps >= config.supported_fps_threshold)
+        ++result.supported_users;
+      fps_stats.add(q.displayed_fps);
+      stall_stats.add(q.stall_ratio);
+      tier_stats.add(q.mean_quality_tier);
+      fps_dist.add(q.displayed_fps);
+      stall_dist.add(q.stall_time_s);
+    }
+  }
+  result.mean_displayed_fps = fps_stats.mean();
+  result.mean_stall_ratio = stall_stats.mean();
+  result.mean_quality_tier = tier_stats.mean();
+  if (!fps_dist.empty()) {
+    result.p5_displayed_fps = fps_dist.percentile(5.0);
+    result.p50_displayed_fps = fps_dist.percentile(50.0);
+    result.p95_displayed_fps = fps_dist.percentile(95.0);
+    result.p95_stall_time_s = stall_dist.percentile(95.0);
+  }
+  return result;
+}
+
+}  // namespace volcast::core

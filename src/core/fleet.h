@@ -1,0 +1,61 @@
+// Multi-session fleet runner: N independently-seeded sessions (e.g. N
+// rooms of the same venue, or N Monte-Carlo repetitions of one deployment)
+// executed across a thread pool, with slot-indexed results and aggregate
+// fleet statistics.
+//
+// Determinism contract (same as Session's worker_threads contract): slot k
+// always runs the session template with seed `session.seed + k`, results
+// land in slot k, and every aggregate is folded serially in slot order —
+// the FleetResult is bit-identical for every `parallel_sessions` value.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/session.h"
+
+namespace volcast::core {
+
+struct FleetConfig {
+  /// Per-session template. Slot k runs it with `seed + k`; everything else
+  /// (users, duration, ablation switches, policy overrides) is shared.
+  /// Leave `telemetry` and `tick_observer` null/empty — per-slot sinks
+  /// cannot be shared across concurrent sessions.
+  SessionConfig session;
+  /// Number of sessions in the fleet.
+  std::size_t sessions = 1;
+  /// Sessions simulated concurrently: 0 = hardware concurrency, 1 = fully
+  /// serial. Outer parallelism only changes wall time, never results.
+  std::size_t parallel_sessions = 0;
+  /// A user counts as "supported" when its displayed FPS reaches this
+  /// floor (the paper's bar for smooth 30 FPS playback).
+  double supported_fps_threshold = 29.5;
+
+  /// Throws std::invalid_argument on an invalid fleet or session config.
+  void validate() const;
+};
+
+/// Fleet outcome: per-session results (slot k = seed + k) + aggregates.
+struct FleetResult {
+  std::vector<SessionResult> sessions;
+
+  // Aggregates over every user of every session, folded in slot order.
+  std::size_t total_users = 0;
+  /// Users whose displayed FPS met the supported threshold.
+  std::size_t supported_users = 0;
+  double mean_displayed_fps = 0.0;
+  double mean_stall_ratio = 0.0;
+  double mean_quality_tier = 0.0;
+  /// Displayed-FPS distribution across users (p5 pessimum, median, p95).
+  double p5_displayed_fps = 0.0;
+  double p50_displayed_fps = 0.0;
+  double p95_displayed_fps = 0.0;
+  /// Stall-time distribution across users.
+  double p95_stall_time_s = 0.0;
+};
+
+/// Runs the whole fleet. Deterministic for a given config at any
+/// `parallel_sessions` value.
+[[nodiscard]] FleetResult run_fleet(const FleetConfig& config);
+
+}  // namespace volcast::core

@@ -1,26 +1,21 @@
+// Session driver: validates the config, assembles the staged pipeline
+// from the policy registry, and owns the tick loop. All per-tick work
+// lives in the stages (src/core/stages/); the driver contributes only
+// what frames them — the event-queue clock, the fault-injection prologue
+// that updates AP availability, and the result finalization.
 #include "core/session.h"
 
-#include <algorithm>
-#include <array>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "common/stats.h"
-#include "common/thread_pool.h"
 #include "common/units.h"
-#include "core/beam_designer.h"
-#include "core/blockage_mitigator.h"
-#include "core/multi_ap.h"
-#include "fault/injector.h"
-#include "mmwave/link.h"
-#include "mmwave/sls.h"
+#include "core/stages/registry.h"
+#include "core/stages/session_state.h"
+#include "core/stages/tick_context.h"
 #include "obs/telemetry.h"
-#include "pointcloud/video_store.h"
-#include "sim/event_queue.h"
-#include "sim/player.h"
-#include "viewport/joint_predictor.h"
-#include "viewport/similarity.h"
 
 namespace volcast::core {
 
@@ -58,1108 +53,145 @@ void SessionConfig::validate() const {
       if (trace.poses.empty())
         throw std::invalid_argument("SessionConfig: empty replay trace");
   }
+  for (const auto& [slot, name] : policy_overrides) {
+    const auto kind = parse_stage_kind(slot);
+    if (!kind.has_value())
+      throw std::invalid_argument(
+          "SessionConfig: unknown pipeline slot '" + slot +
+          "' in policy_overrides (expected prediction, beam, adaptation, "
+          "mitigation, grouping or transport)");
+    if (!PolicyRegistry::instance().contains(*kind, name)) {
+      std::string msg = "SessionConfig: unknown " + slot + " policy '" +
+                        name + "'; registered:";
+      for (const auto& known : PolicyRegistry::instance().names(*kind))
+        msg += " " + known;
+      throw std::invalid_argument(msg);
+    }
+  }
   fault_plan.validate(user_count, ap_count);
 }
 
-namespace {
-
-/// Bits a user needs for `frame` at `tier` given its visibility map.
-double visible_bits(const view::VisibilityMap& map, const vv::VideoStore& store,
-                    std::size_t frame, std::size_t tier) {
-  double bits = 0.0;
-  for (vv::CellId c = 0; c < map.cell_count(); ++c) {
-    const double lod = map.lod(c);
-    if (lod > 0.0)
-      bits += byte_bits(static_cast<double>(store.cell_bytes(frame, tier, c))) *
-              lod;
-  }
-  return bits;
-}
-
-}  // namespace
-
 struct Session::Impl {
-  SessionConfig config;
-  MultiApCoordinator coordinator;
-  vv::VideoGenerator generator;
-  vv::CellGrid grid;
-  // Declared before the store and the joint predictor: both hold a pointer
-  // to it and use it during their own construction.
-  common::ThreadPool pool;
-  vv::VideoStore store;
-  view::JointViewportPredictor joint;
-  std::vector<BeamDesigner> designers;   // one per AP
-  BlockageMitigator mitigator;
-
-  // Per-video-frame occupancy at the top tier (drives visibility).
-  std::vector<std::vector<std::uint32_t>> occupancy;
-
-  // Per-user state.
-  struct User {
-    trace::MobilityModel mobility;
-    mmwave::ShadowingProcess shadowing;
-    sim::Player player;
-    BandwidthPredictor predictor;
-    std::size_t tier;
-    std::size_t prefetch_credit = 0;
-    std::size_t frames_ahead = 0;
-    int reflection_ticks = 0;
-    mmwave::Awv reflection_awv;
-    double delivered_bits = 0.0;
-    bool blockage_forecast = false;
-    // Reactive (SLS) beam tracking state.
-    mmwave::Awv serving_awv;
-    int sls_remaining_ticks = 0;
-    // Viewport prediction quality accounting.
-    double miss_sum = 0.0;
-    std::size_t miss_count = 0;
-    // The decoder is a serial resource: completion time of the last frame.
-    double decode_free_at = 0.0;
-    // Motion-to-photon accounting (pose -> playable).
-    RunningStats m2p;
-    // Fault-recovery state: exponential backoff after failed beam probes,
-    // and the frozen position of a stuck sector.
-    int probe_backoff_ticks = 0;
-    int probe_backoff_next = 1;
-    bool was_stuck = false;
-    geo::Vec3 stuck_pos{};
-  };
-  std::vector<User> users;
-
-  // Fault injection (all inert when the plan is empty).
-  fault::FaultInjector injector;
-  std::vector<fault::HealthMonitor> health;
-  bool has_faults = false;
-  fault::FaultReport freport;
-  // Per-AP membership signature of the last tick, for counting multicast
-  // group reformations under churn / AP faults.
-  std::vector<std::vector<std::size_t>> prev_active;
-
-  // Counters for SessionResult.
-  double multicast_bits = 0.0;
-  double unicast_bits = 0.0;
-  double group_size_sum = 0.0;
-  std::size_t group_count = 0;
-  std::size_t custom_beam_uses = 0;
-  std::size_t stock_beam_uses = 0;
-  std::size_t blockage_forecasts = 0;
-  std::size_t reflection_switches = 0;
-  std::size_t dropped_ticks = 0;
-  std::size_t outage_user_ticks = 0;
-  std::size_t sls_sweeps = 0;
-  std::size_t sls_outage_ticks = 0;
-  double scheduled_airtime = 0.0;
-
-  // Telemetry (null = disabled; every hook below is one pointer test).
-  obs::Telemetry* tel = nullptr;
-  obs::Counter* rss_evals = nullptr;
-
-  static MultiApConfig multi_ap_config(const SessionConfig& c) {
-    MultiApConfig mc;
-    mc.ap_count = std::max<std::size_t>(c.ap_count, 1);
-    return mc;
-  }
-
-  static vv::VideoConfig video_config(const SessionConfig& c) {
-    vv::VideoConfig vc;
-    vc.points_per_frame = c.master_points;
-    vc.frame_count = c.video_frames;
-    vc.fps = c.fps;
-    vc.seed = c.seed ^ 0xc0ffee;
-    return vc;
-  }
-
-  static vv::VideoStoreConfig store_config(const SessionConfig& c,
-                                           common::ThreadPool* pool) {
-    vv::VideoStoreConfig sc;
-    // Scale the paper's 330K/430K/550K tier ladder to the configured
-    // master point budget.
-    const double scale = static_cast<double>(c.master_points) / 550'000.0;
-    sc.tiers = {{"low", static_cast<std::size_t>(330'000 * scale)},
-                {"med", static_cast<std::size_t>(430'000 * scale)},
-                {"high", c.master_points}};
-    sc.sample_frames = 1;
-    sc.pool = pool;
-    return sc;
-  }
-
-  static view::JointPredictorConfig joint_config(const SessionConfig& c,
-                                                 const Testbed& tb,
-                                                 common::ThreadPool* pool) {
-    view::JointPredictorConfig jc;
-    jc.user_occlusion = c.enable_user_occlusion;
-    jc.visibility.intrinsics = view::device_intrinsics(c.device);
-    // The joint predictor works in content-local coordinates; express the
-    // (primary) AP there.
-    jc.ap_position =
-        tb.config().ap_position - tb.config().content_floor;
-    jc.pool = pool;
-    jc.metrics = c.telemetry != nullptr ? &c.telemetry->metrics() : nullptr;
-    return jc;
-  }
+  SessionState state;
+  std::vector<std::unique_ptr<Stage>> pipeline;
+  bool ran = false;
 
   explicit Impl(SessionConfig c)
-      : config(c),
-        coordinator(c.testbed, multi_ap_config(c)),
-        generator(video_config(c)),
-        grid(generator.content_bounds(), c.cell_size_m),
-        pool(c.worker_threads),
-        store(generator, grid, store_config(c, &pool)),
-        joint(c.user_count, joint_config(c, coordinator.ap(0), &pool)),
-        mitigator(coordinator.ap(0),
-                  designers_placeholder(),  // replaced below
-                  MitigatorConfig{}),
-        injector(c.fault_plan, c.user_count,
-                 std::max<std::size_t>(c.ap_count, 1), c.seed ^ 0xfa17ULL),
-        health(c.user_count, fault::HealthMonitor(c.health)),
-        has_faults(!c.fault_plan.empty()) {
-    tel = config.telemetry;
-    if (tel != nullptr)
-      rss_evals = &tel->metrics().counter("mmwave.rss_evals");
-    BeamDesignerConfig bd;
-    bd.enable_custom_beams = c.enable_custom_beams;
-    bd.metrics = tel != nullptr ? &tel->metrics() : nullptr;
-    for (std::size_t a = 0; a < coordinator.ap_count(); ++a)
-      designers.emplace_back(coordinator.ap(a), bd);
-    mitigator = BlockageMitigator(coordinator.ap(0), designers.front(),
-                                  MitigatorConfig{});
-
-    occupancy.reserve(c.video_frames);
-    const std::size_t top = store.tier_count() - 1;
-    for (std::size_t f = 0; f < c.video_frames; ++f) {
-      std::vector<std::uint32_t> occ(grid.cell_count());
-      for (vv::CellId cell = 0; cell < grid.cell_count(); ++cell)
-        occ[cell] = store.cell_points(f, top, cell);
-      occupancy.push_back(std::move(occ));
-    }
-
-    Rng seeder(c.seed);
-    const geo::Vec3 center = generator.content_center();
-    for (std::size_t u = 0; u < c.user_count; ++u) {
-      const double frac =
-          c.user_count > 1
-              ? static_cast<double>(u) / static_cast<double>(c.user_count - 1)
-              : 0.5;
-      // Audience arc centered on the far side of the content from the
-      // first AP, matching the user study.
-      const double home = 1.5707963267948966 +
-                          (frac - 0.5) * c.audience_spread_rad +
-                          seeder.uniform(-0.1, 0.1);
-      Rng param_rng = seeder.fork();
-      const auto params = trace::MobilityParams::for_device(
-          c.device, param_rng, center, home);
-      User user{trace::MobilityModel(params, seeder.next_u64()),
-                mmwave::ShadowingProcess(c.testbed.shadowing_sigma_db,
-                                         c.testbed.shadowing_coherence_s,
-                                         seeder.next_u64()),
-                sim::Player(c.fps), BandwidthPredictor(c.estimator),
-                std::min(c.start_tier, store.tier_count() - 1),
-                0, 0, 0, {}, 0.0, false};
-      users.push_back(std::move(user));
-    }
-    if (tel != nullptr)
-      for (User& user : users) user.player.bind_metrics(&tel->metrics());
-  }
-
-  // The mitigator needs a designer reference at construction; a static
-  // placeholder satisfies the constructor before the real one is assigned.
-  static const BeamDesigner& designers_placeholder() {
-    static const TestbedConfig config{};
-    static const Testbed testbed(config);
-    static const BeamDesigner designer(testbed);
-    return designer;
-  }
+      : state(std::move(c)), pipeline(build_pipeline(state.config)) {}
 
   SessionResult run();
 };
 
 SessionResult Session::Impl::run() {
-  const double dt = 1.0 / config.fps;
+  if (ran)
+    throw std::logic_error(
+        "Session::run() called twice: a run consumes the session state; "
+        "construct a fresh Session to re-run");
+  ran = true;
+
+  const SessionConfig& config = state.config;
   const auto ticks = static_cast<std::size_t>(
       std::llround(config.duration_s * config.fps));
   const std::size_t n = config.user_count;
-  const double horizon = config.prediction_horizon_s;
-  const std::size_t horizon_ticks = static_cast<std::size_t>(
-      std::llround(horizon * config.fps));
-
-  sim::EventQueue queue;
-  std::vector<double> backlog(coordinator.ap_count(), 0.0);
-  std::vector<std::size_t> assignment(n, 0);
-  // Beams each AP transmitted with last tick: the interference the other
-  // APs' users see this tick (beams persist across a frame interval).
-  std::vector<mmwave::Awv> concurrent_beams(coordinator.ap_count());
-
-  const auto& mcs = coordinator.ap(0).mcs();
-
-  if (tel != nullptr) {
-    obs::SessionMeta meta;
-    meta.users = static_cast<std::uint32_t>(n);
-    meta.aps = static_cast<std::uint32_t>(coordinator.ap_count());
-    meta.fps = config.fps;
-    meta.duration_s = config.duration_s;
-    meta.seed = config.seed;
-    tel->begin_session(meta);
-  }
-  // Per-user event slots for the parallel link lanes, merged serially in
-  // user order after each fan-out (same discipline as the counter tallies).
-  std::vector<obs::EventBuffer> lane_events(tel != nullptr ? n : 0);
-  std::vector<std::size_t> prev_tier(tel != nullptr ? n : 0);
-
-  // Fault state; inert (and cost-free on the hot paths) with an empty plan.
-  std::array<bool, 4> ap_up{};
-  ap_up.fill(true);
-  prev_active.assign(coordinator.ap_count(), {});
-  const auto absent = [&](std::size_t u) {
-    return has_faults && injector.user_absent(u);
-  };
-  std::vector<char> fault_fallback(n, 0);
+  state.begin_run();
 
   for (std::size_t tick = 0; tick < ticks; ++tick) {
-    const double t = static_cast<double>(tick) * dt;
-    const auto tick32 = static_cast<std::uint32_t>(tick);
-    queue.run_until(t);
-    const std::size_t frame = tick % config.video_frames;
+    TickContext ctx;
+    ctx.tick = tick;
+    ctx.tick32 = static_cast<std::uint32_t>(tick);
+    ctx.t = static_cast<double>(tick) * state.dt;
+    ctx.tel = state.tel;
+    state.queue.run_until(ctx.t);
+    ctx.frame = tick % config.video_frames;
 
-    bool availability_changed = false;
-    if (has_faults) {
-      const std::size_t fired = injector.advance(t);
-      freport.faults_injected += fired;
-      if (tel != nullptr && fired > 0) {
+    // Fault-injection prologue: advance the injector's clock and fold AP
+    // outages into the availability flags before any stage runs. Inert
+    // (and cost-free on the hot paths) with an empty plan.
+    if (state.has_faults) {
+      const std::size_t fired = state.injector.advance(ctx.t);
+      state.freport.faults_injected += fired;
+      if (state.tel != nullptr && fired > 0) {
         obs::Event e;
-        e.tick = tick32;
+        e.tick = ctx.tick32;
         e.layer = obs::Layer::kFault;
         e.type = obs::EventType::kFaultInjected;
         e.value = static_cast<double>(fired);
         e.has_value = true;
-        tel->record_event(e);
+        state.tel->record_event(e);
       }
-      for (std::size_t a = 0; a < coordinator.ap_count(); ++a) {
-        const bool up = !injector.ap_down(a);
-        if (up != ap_up[a]) {
-          availability_changed = true;
-          if (tel != nullptr) {
+      for (std::size_t a = 0; a < state.coordinator.ap_count(); ++a) {
+        const bool up = !state.injector.ap_down(a);
+        if (up != state.ap_up[a]) {
+          ctx.availability_changed = true;
+          if (state.tel != nullptr) {
             obs::Event e;
-            e.tick = tick32;
+            e.tick = ctx.tick32;
             e.layer = obs::Layer::kFault;
             e.type = up ? obs::EventType::kApUp : obs::EventType::kApDown;
             e.ap = static_cast<std::uint32_t>(a);
-            tel->record_event(e);
+            state.tel->record_event(e);
           }
         }
-        ap_up[a] = up;
+        state.ap_up[a] = up;
       }
-      std::fill(fault_fallback.begin(), fault_fallback.end(), 0);
+      std::fill(state.fault_fallback.begin(), state.fault_fallback.end(), 0);
     }
 
-    // ---- 1. observe poses, bodies, shadowing --------------------------
-    obs::Span pose_span(tel, obs::Stage::kPose, tick32);
-    std::vector<geo::Pose> local_poses(n);
-    std::vector<geo::Vec3> room_pos(n);
-    std::vector<geo::BodyObstacle> bodies(n);
-    std::vector<double> shadow(n);
-    const bool replaying = !config.replay_traces.empty();
-    // Mobility and shadowing advance per-user RNG streams — independent
-    // state, slot-indexed outputs, so users fan out across the pool.
-    pool.parallel_for(n, [&](std::size_t u) {
-      if (replaying) {
-        const auto& poses = config.replay_traces[u].poses;
-        local_poses[u] = poses[tick % poses.size()];
-        (void)users[u].mobility.step(dt);  // keep RNG streams aligned
-      } else {
-        local_poses[u] = users[u].mobility.step(dt);
-      }
-      room_pos[u] = coordinator.ap(0).to_room(local_poses[u].position);
-      bodies[u] = {room_pos[u], 0.25, 1.8};
-      shadow[u] = users[u].shadowing.step(dt);
-    });
-    joint.observe(t, local_poses);
-    pose_span.add_cost(n);
-    pose_span.end();
-
-    // ---- 2. joint prediction ------------------------------------------
-    obs::Span predict_span(tel, obs::Stage::kPredict, tick32);
-    const std::size_t target_frame =
-        (tick + horizon_ticks) % config.video_frames;
-    view::JointPrediction prediction =
-        joint.predict(horizon, grid, occupancy[target_frame]);
-    for (std::size_t u = 0; u < n; ++u) users[u].blockage_forecast = false;
-    for (const auto& forecast : prediction.blockages) {
-      if (forecast.user < n) users[forecast.user].blockage_forecast = true;
-    }
-    blockage_forecasts += prediction.blockages.size();
-    predict_span.add_cost(n * grid.cell_count());
-    predict_span.end();
-
-    // ---- 3. AP assignment (refreshed every second, and immediately when
-    // an AP goes dark or comes back) --------------------------------------
-    if (coordinator.ap_count() > 1 &&
-        (tick % 30 == 0 || availability_changed)) {
-      obs::Span assign_span(tel, obs::Stage::kAssign, tick32);
-      assign_span.add_cost(n * coordinator.ap_count());
-      assignment = has_faults
-                       ? coordinator.assign_users(
-                             room_pos, std::span<const bool>(
-                                           ap_up.data(),
-                                           coordinator.ap_count()))
-                       : coordinator.assign_users(room_pos);
-    }
-
-    // Multicast membership tracking: the set of users each AP can serve.
-    // Under an active fault, any change to that set is a group reformation
-    // (member churned, blacked out, or was re-homed after an AP outage).
-    if (has_faults) {
-      for (std::size_t a = 0; a < coordinator.ap_count(); ++a) {
-        std::vector<std::size_t> sig;
-        if (ap_up[a]) {
-          for (std::size_t u = 0; u < n; ++u)
-            if (assignment[u] == a && !absent(u)) sig.push_back(u);
-        }
-        if (tick > 0 && injector.any_active() && sig != prev_active[a])
-          ++freport.group_reformations;
-        prev_active[a] = std::move(sig);
-      }
-    }
-
-    // ---- 4. per-user unicast link state --------------------------------
-    obs::Span link_span(tel, obs::Stage::kLink, tick32);
-    std::vector<double> unicast_rate(n, 0.0);
-    std::vector<double> unicast_rss(n, -200.0);
-    const mmwave::SlsProcedure sls;
-    // Per-user counter deltas: parallel lanes touch only their own slot;
-    // the shared tallies are reduced serially, in user order, below.
-    struct LinkTally {
-      std::size_t probe_retries = 0;
-      std::size_t fallback_stock_beams = 0;
-      std::size_t fallback_reflection_beams = 0;
-      std::size_t sls_sweeps = 0;
-      std::size_t sls_outage_ticks = 0;
-      std::size_t reflection_switches = 0;
-    };
-    std::vector<LinkTally> link_tally(n);
-    pool.parallel_for(n, [&](std::size_t u) {
-      LinkTally& tally = link_tally[u];
-      // Telemetry events land in this lane's own slot (merged serially in
-      // user order below); counters are atomic and commutative.
-      const auto push_event = [&](obs::Layer layer, obs::EventType type) {
-        if (tel == nullptr) return;
-        obs::Event e;
-        e.tick = tick32;
-        e.layer = layer;
-        e.type = type;
-        e.user = static_cast<std::uint32_t>(u);
-        lane_events[u].push_back(e);
-      };
-      if (has_faults && (absent(u) || !ap_up[assignment[u]])) {
-        // Churned out, or the serving AP is dark: no delivery path at all
-        // this tick. The player rides its buffer until recovery.
-        unicast_rss[u] = -200.0;
-        unicast_rate[u] = 0.0;
-        users[u].predictor.set_phy_state(0.0, false);
-        return;
-      }
-      const Testbed& tb = coordinator.ap(assignment[u]);
-      std::vector<geo::BodyObstacle> others;
-      for (std::size_t v = 0; v < n; ++v)
-        if (v != u && !absent(v)) others.push_back(bodies[v]);
-      for (const geo::BodyObstacle& o : injector.obstacles())
-        others.push_back(o);
-
-      mmwave::Awv serving;
-      if (has_faults && injector.sector_stuck(u)) {
-        // Stuck sector: the radio keeps riding the sweep result frozen at
-        // the moment the fault hit, however stale it gets.
-        User& st = users[u];
-        if (!st.was_stuck) {
-          st.was_stuck = true;
-          st.stuck_pos = room_pos[u];
-        }
-        serving = tb.codebook().beam(
-            tb.codebook().best_beam_toward(tb.ap(), st.stuck_pos));
-        fault_fallback[u] = 1;
-      } else if (config.predictive_beam_tracking) {
-        users[u].was_stuck = false;
-        // The paper's proposal: steer from the (predicted) 6DoF position,
-        // no beam search, no outage. A custom beam must be probed before
-        // use, and under a probe fault that probe fails: retry with
-        // exponential backoff, riding the fallback chain meanwhile.
-        bool use_custom = true;
-        if (has_faults) {
-          User& st = users[u];
-          if (st.probe_backoff_ticks > 0) {
-            --st.probe_backoff_ticks;  // still backing off a failed probe
-            use_custom = false;
-          } else if (injector.probe_fail(u)) {
-            ++tally.probe_retries;
-            push_event(obs::Layer::kMmwave, obs::EventType::kProbeRetry);
-            st.probe_backoff_ticks = st.probe_backoff_next;
-            st.probe_backoff_next = std::min(st.probe_backoff_next * 2, 16);
-            use_custom = false;
-          } else {
-            st.probe_backoff_next = 1;  // probe succeeded
-          }
-        }
-        if (use_custom) {
-          serving =
-              designers[assignment[u]].design_unicast(room_pos[u], others)
-                  .awv;
-        } else {
-          // Fallback chain, step 1: the stock sector beam needs no probe.
-          serving = tb.codebook().beam(
-              tb.codebook().best_beam_toward(tb.ap(), room_pos[u]));
-          ++tally.fallback_stock_beams;
-          push_event(obs::Layer::kMmwave, obs::EventType::kFallbackStockBeam);
-          fault_fallback[u] = 1;
-        }
-      } else {
-        // Reactive baseline: ride the last swept sector; re-train via SLS
-        // when it goes stale, paying the 5-20 ms search outage.
-        User& st = users[u];
-        auto start_sweep = [&] {
-          st.sls_remaining_ticks = std::max(
-              1, static_cast<int>(std::ceil(
-                     sls.outage_s(tb.codebook()) * config.fps)));
-          ++tally.sls_sweeps;
-          push_event(obs::Layer::kMmwave, obs::EventType::kSlsSweep);
-        };
-        if (st.sls_remaining_ticks > 0) {
-          --st.sls_remaining_ticks;
-          ++tally.sls_outage_ticks;
-          if (st.sls_remaining_ticks == 0) {
-            st.serving_awv = tb.codebook().beam(
-                tb.codebook().best_beam_toward(tb.ap(), room_pos[u]));
-          }
-          unicast_rss[u] = -200.0;
-          unicast_rate[u] = 0.0;
-          users[u].predictor.set_phy_state(0.0, users[u].blockage_forecast);
-          return;
-        }
-        if (st.serving_awv.empty()) {
-          start_sweep();
-          unicast_rss[u] = -200.0;
-          unicast_rate[u] = 0.0;
-          users[u].predictor.set_phy_state(0.0, users[u].blockage_forecast);
-          return;
-        }
-        const double serving_rss =
-            mmwave::rss_dbm(tb.ap(), st.serving_awv, tb.channel(),
-                            room_pos[u], others, tb.budget(), tb.blockage(),
-                            rss_evals);
-        const double best_rss = mmwave::best_beam_rss_dbm(
-            tb.ap(), tb.codebook(), tb.channel(), room_pos[u], others,
-            tb.budget(), tb.blockage(), rss_evals);
-        // Re-train when the sector went stale — or when the link fell
-        // below the usable floor, which a reactive device cannot tell
-        // apart from misalignment. Sweeping into a body blockage is
-        // exactly the wasted 5-20 ms the paper's proactive design avoids.
-        if (serving_rss < best_rss - config.sls_staleness_db ||
-            serving_rss < -68.0)
-          start_sweep();
-        serving = st.serving_awv;  // stale or not, it carries this tick
-      }
-
-      double rss = mmwave::rss_dbm(tb.ap(), serving, tb.channel(),
-                                   room_pos[u], others, tb.budget(),
-                                   tb.blockage(), rss_evals) +
-                   shadow[u];
-      // Reflection override from an earlier mitigation action: use it when
-      // it currently beats the (possibly blocked) line of sight.
-      if (users[u].reflection_ticks > 0 &&
-          !users[u].reflection_awv.empty()) {
-        const double refl =
-            mmwave::rss_dbm(tb.ap(), users[u].reflection_awv, tb.channel(),
-                            room_pos[u], others, tb.budget(), tb.blockage(),
-                            rss_evals) +
-            shadow[u];
-        if (refl > rss) {
-          rss = refl;
-          ++tally.reflection_switches;
-          push_event(obs::Layer::kMmwave, obs::EventType::kReflectionSwitch);
-        }
-        --users[u].reflection_ticks;
-      }
-      if (has_faults && fault_fallback[u] != 0 && rss < -68.0) {
-        // Fallback chain, step 2: the stock beam is unusable too (stale
-        // sector, or a fault-spawned obstacle shadows the LoS) — try a
-        // reflected path off the room surfaces.
-        const GroupBeam refl_beam =
-            designers[assignment[u]].design_reflection(room_pos[u], others);
-        if (!refl_beam.awv.empty()) {
-          const double refl_rss =
-              mmwave::rss_dbm(tb.ap(), refl_beam.awv, tb.channel(),
-                              room_pos[u], others, tb.budget(),
-                              tb.blockage(), rss_evals) +
-              shadow[u];
-          if (refl_rss > rss) {
-            rss = refl_rss;
-            ++tally.fallback_reflection_beams;
-            push_event(obs::Layer::kMmwave,
-                       obs::EventType::kFallbackReflection);
-          }
-        }
-      }
-      unicast_rss[u] = rss;
-      unicast_rate[u] = mcs.goodput_mbps(rss);
-      if (coordinator.ap_count() > 1) {
-        unicast_rate[u] *= coordinator.interference_factor(
-            assignment[u], room_pos[u], rss, concurrent_beams);
-      }
-      users[u].predictor.set_phy_state(unicast_rate[u],
-                                       users[u].blockage_forecast);
-    });
-    for (const LinkTally& tally : link_tally) {
-      freport.probe_retries += tally.probe_retries;
-      freport.fallback_stock_beams += tally.fallback_stock_beams;
-      freport.fallback_reflection_beams += tally.fallback_reflection_beams;
-      sls_sweeps += tally.sls_sweeps;
-      sls_outage_ticks += tally.sls_outage_ticks;
-      reflection_switches += tally.reflection_switches;
-    }
-    if (tel != nullptr) {
-      for (std::size_t u = 0; u < n; ++u) {
-        tel->append(lane_events[u]);
-        lane_events[u].clear();
-      }
-    }
-    link_span.add_cost(n * n);
-    link_span.end();
-
-    // ---- 5. rate adaptation --------------------------------------------
-    obs::Span adapt_span(tel, obs::Stage::kAdapt, tick32);
-    RateAdapterConfig rc;
-    rc.policy = config.adaptation;
-    rc.low_buffer_s = 0.75 / config.fps;   // under one frame buffered
-    rc.high_buffer_s = 1.6 / config.fps;   // healthy: > 1.6 frames
-    rc.metrics = tel != nullptr ? &tel->metrics() : nullptr;
-    const RateAdapter adapter(rc);
-    if (tel != nullptr)
-      for (std::size_t u = 0; u < n; ++u) prev_tier[u] = users[u].tier;
-    std::vector<std::size_t> ap_active(coordinator.ap_count(), 0);
-    for (std::size_t u = 0; u < n; ++u)
-      if (unicast_rate[u] > 0.0) ++ap_active[assignment[u]];
-    // Per-user decisions over per-user state; the only shared tally
-    // (fallback tier drops) goes through slots reduced in user order.
-    std::vector<std::size_t> tier_drop_tally(n, 0);
-    pool.parallel_for(n, [&](std::size_t u) {
-      AdaptationInput in;
-      in.buffer_s = users[u].player.buffer_s();
-      // The air interface is shared: a user can only count on its share of
-      // the frame interval (the central scheduler knows the user count —
-      // exactly the paper's argument for server-side adaptation).
-      const double share =
-          static_cast<double>(std::max<std::size_t>(
-              ap_active[assignment[u]], 1));
-      in.predicted_mbps = users[u].predictor.predict_mbps() / share;
-      in.tier_count = store.tier_count();
-      in.current_tier = users[u].tier;
-      in.blockage_forecast = users[u].blockage_forecast;
-      for (std::size_t q = 0; q < store.tier_count() && q < 3; ++q) {
-        in.demand_mbps[q] = bits_to_megabits(
-            visible_bits(prediction.visibility[u], store, target_frame, q) *
-            config.fps);
-      }
-      const AdaptationDecision decision = adapter.decide(in);
-      users[u].tier = decision.tier;
-      if (has_faults && fault_fallback[u] != 0) {
-        // Fallback chain, step 3 (last resort): a user riding a fallback
-        // beam whose link cannot carry its tier sheds quality immediately
-        // instead of waiting for the adapter's smoothed estimate.
-        while (users[u].tier > 0 &&
-               in.demand_mbps[std::min<std::size_t>(users[u].tier, 2)] >
-                   in.predicted_mbps) {
-          --users[u].tier;
-          ++tier_drop_tally[u];
-        }
-      }
-      if (decision.prefetch && users[u].prefetch_credit == 0)
-        users[u].prefetch_credit = 2;
-    });
-    for (std::size_t drops : tier_drop_tally)
-      freport.fallback_tier_drops += drops;
-    if (tel != nullptr) {
-      for (std::size_t u = 0; u < n; ++u) {
-        if (users[u].tier == prev_tier[u]) continue;
-        obs::Event e;
-        e.tick = tick32;
-        e.layer = obs::Layer::kRate;
-        e.type = obs::EventType::kTierChange;
-        e.user = static_cast<std::uint32_t>(u);
-        e.value = static_cast<double>(users[u].tier);
-        e.has_value = true;
-        tel->record_event(e);
-      }
-    }
-    adapt_span.add_cost(n);
-    adapt_span.end();
-
-    // ---- 6. proactive blockage mitigation ------------------------------
-    if (config.enable_blockage_mitigation) {
-      obs::Span mitigate_span(tel, obs::Stage::kMitigate, tick32);
-      mitigate_span.add_cost(prediction.blockages.size());
-      const auto actions = mitigator.plan(prediction.blockages,
-                                          prediction.poses, unicast_rss);
-      for (const MitigationAction& action : actions) {
-        User& u = users[action.user];
-        u.prefetch_credit =
-            std::max(u.prefetch_credit, action.extra_prefetch_frames);
-        if (action.use_reflection_beam) {
-          u.reflection_awv = action.reflection_awv;
-          u.reflection_ticks = 15;  // half a second of override
-        }
-      }
-    }
-
-    // ---- 7. grouping + scheduling per AP --------------------------------
-    std::vector<double> app_sample_mbps(n, 0.0);
-    for (std::size_t a = 0; a < coordinator.ap_count(); ++a) {
-      const auto ap32 = static_cast<std::uint32_t>(a);
-      if (has_faults && !ap_up[a]) {
-        // AP in outage: it schedules nothing and radiates nothing.
-        concurrent_beams[a].clear();
-        backlog[a] = std::max(0.0, backlog[a] - dt);
-        continue;
-      }
-      // Users of this AP that still need this tick's frame.
-      std::vector<std::size_t> members;  // user ids
-      for (std::size_t u = 0; u < n; ++u) {
-        if (assignment[u] != a) continue;
-        if (absent(u)) continue;  // churned out mid-session
-        if (users[u].frames_ahead > 0) {
-          --users[u].frames_ahead;  // already prefetched
-          continue;
-        }
-        if (unicast_rate[u] <= 0.0) {
-          // Deep blockage outage: even the control PHY fails, nothing can
-          // be delivered this tick. The player rides its buffer.
-          ++outage_user_ticks;
-          if (tel != nullptr) {
-            obs::Event e;
-            e.tick = tick32;
-            e.layer = obs::Layer::kMmwave;
-            e.type = obs::EventType::kOutage;
-            e.user = static_cast<std::uint32_t>(u);
-            e.ap = ap32;
-            tel->record_event(e);
-          }
-          continue;
-        }
-        members.push_back(u);
-      }
-      if (members.empty()) continue;
-
-      if (backlog[a] > config.max_backlog_s) {
-        // Air queue over budget: skip this round entirely (frame drop);
-        // the buffers and the adapter absorb it.
-        ++dropped_ticks;
-        if (tel != nullptr) {
-          obs::Event e;
-          e.tick = tick32;
-          e.layer = obs::Layer::kMac;
-          e.type = obs::EventType::kDroppedTick;
-          e.ap = ap32;
-          tel->record_event(e);
-        }
-        backlog[a] = std::max(0.0, backlog[a] - dt);
-        continue;
-      }
-
-      obs::Span group_span(tel, obs::Stage::kGroup, tick32, ap32);
-      group_span.add_cost(members.size() * members.size());
-      std::vector<UserState> states(members.size());
-      pool.parallel_for(members.size(), [&](std::size_t i) {
-        const std::size_t u = members[i];
-        UserState s;
-        s.user = u;
-        s.visibility = &prediction.visibility[u];
-        s.total_bits =
-            visible_bits(prediction.visibility[u], store, frame, users[u].tier);
-        s.unicast_rate_mbps = unicast_rate[u];
-        states[i] = s;
-      });
-
-      auto group_tier = [&](std::span<const std::size_t> idx) {
-        std::size_t tier = 0;
-        for (std::size_t i : idx) tier = std::max(tier, users[members[i]].tier);
-        return tier;
-      };
-      auto overlap_bits_fn = [&](std::span<const std::size_t> idx) {
-        std::vector<view::VisibilityMap> maps;
-        maps.reserve(idx.size());
-        for (std::size_t i : idx)
-          maps.push_back(prediction.visibility[members[i]]);
-        const view::VisibilityMap inter = view::intersection(maps);
-        return visible_bits(inter, store, frame, group_tier(idx));
-      };
-      auto group_rate_fn = [&](std::span<const std::size_t> idx) {
-        if (!config.enable_multicast) return 0.0;
-        std::vector<geo::Vec3> positions;
-        std::vector<geo::Vec3> other_positions;
-        std::vector<geo::BodyObstacle> non_member_bodies;
-        positions.reserve(idx.size());
-        for (std::size_t i : idx) positions.push_back(room_pos[members[i]]);
-        for (std::size_t u = 0; u < n; ++u) {
-          if (absent(u)) continue;
-          if (std::find_if(idx.begin(), idx.end(), [&](std::size_t i) {
-                return members[i] == u;
-              }) == idx.end()) {
-            other_positions.push_back(room_pos[u]);
-            non_member_bodies.push_back(bodies[u]);
-          }
-        }
-        for (const geo::BodyObstacle& o : injector.obstacles())
-          non_member_bodies.push_back(o);
-        const GroupBeam beam = designers[a].design_multicast(
-            positions, non_member_bodies, other_positions);
-        // Worst member RSS including that member's shadowing.
-        double min_rss = 1e9;
-        for (std::size_t i : idx) {
-          const std::size_t u = members[i];
-          const Testbed& tb = coordinator.ap(a);
-          std::vector<geo::BodyObstacle> others;
-          for (std::size_t v = 0; v < n; ++v)
-            if (v != u && !absent(v)) others.push_back(bodies[v]);
-          for (const geo::BodyObstacle& o : injector.obstacles())
-            others.push_back(o);
-          const double rss =
-              mmwave::rss_dbm(tb.ap(), beam.awv, tb.channel(), room_pos[u],
-                              others, tb.budget(), tb.blockage()) +
-              shadow[u];
-          min_rss = std::min(min_rss, rss);
-        }
-        return mcs.goodput_mbps(min_rss);
-      };
-
-      GrouperConfig gc;
-      gc.policy = config.enable_multicast ? config.grouping
-                                          : GroupingPolicy::kUnicastOnly;
-      gc.target_fps = config.fps;
-      gc.min_iou = config.grouping_min_iou;
-      const GroupingResult grouping =
-          form_groups(states, gc, group_rate_fn, overlap_bits_fn);
-      group_span.end();
-      if (tel != nullptr) {
-        for (std::size_t g = 0; g < grouping.groups.size(); ++g) {
-          obs::Event e;
-          e.tick = tick32;
-          e.layer = obs::Layer::kGrouping;
-          e.type = obs::EventType::kGroupFormed;
-          e.group = static_cast<std::uint32_t>(g);
-          e.ap = ap32;
-          e.value = static_cast<double>(grouping.groups[g].size());
-          e.has_value = true;
-          tel->record_event(e);
-        }
-      }
-
-      obs::Span beam_span(tel, obs::Stage::kBeam, tick32, ap32);
-      // Beam bookkeeping for the result counters and for next tick's
-      // cross-AP interference screening (largest group's beam represents
-      // this AP's transmission; unicast fallback below).
-      if (!grouping.groups.empty()) {
-        const auto largest = std::max_element(
-            grouping.groups.begin(), grouping.groups.end(),
-            [](const auto& lhs, const auto& rhs) {
-              return lhs.size() < rhs.size();
-            });
-        if (largest->size() == 1) {
-          concurrent_beams[a] = coordinator.ap(a).ap().steer_at(
-              room_pos[largest->front()]);
-        }
-      } else {
-        concurrent_beams[a].clear();
-      }
-      // Multicast beam design is the heavy per-group step and each group's
-      // beam is independent: design into per-group slots in parallel, then
-      // apply counters and the AP's transmit beam serially in group order
-      // (the last multicast group's beam represents this AP next tick,
-      // exactly as in the serial loop).
-      std::vector<GroupBeam> group_beams(grouping.groups.size());
-      pool.parallel_for(grouping.groups.size(), [&](std::size_t g) {
-        const auto& group = grouping.groups[g];
-        if (group.size() < 2) return;
-        std::vector<geo::Vec3> positions;
-        std::vector<geo::BodyObstacle> non_member_bodies;
-        for (std::size_t u : group) positions.push_back(room_pos[u]);
-        for (std::size_t u = 0; u < n; ++u)
-          if (!absent(u) &&
-              std::find(group.begin(), group.end(), u) == group.end())
-            non_member_bodies.push_back(bodies[u]);
-        for (const geo::BodyObstacle& o : injector.obstacles())
-          non_member_bodies.push_back(o);
-        group_beams[g] =
-            designers[a].design_multicast(positions, non_member_bodies, {});
-      });
-      for (std::size_t g = 0; g < grouping.groups.size(); ++g) {
-        if (grouping.groups[g].size() < 2) continue;
-        beam_span.add_cost(grouping.groups[g].size());
-        GroupBeam& beam = group_beams[g];
-        if (beam.custom) {
-          ++custom_beam_uses;
-        } else {
-          ++stock_beam_uses;
-        }
-        concurrent_beams[a] = std::move(beam.awv);
-      }
-      beam_span.end();
-
-      obs::Span schedule_span(tel, obs::Stage::kSchedule, tick32, ap32);
-      if (tel != nullptr)
-        mac::observe_schedule(grouping.schedule, config.mac_overheads,
-                              tel->metrics());
-      const double airtime =
-          grouping.schedule.airtime_s(config.mac_overheads);
-      scheduled_airtime += airtime;
-      backlog[a] = std::max(0.0, backlog[a] - dt) + airtime;
-      const double delivery_time = t + backlog[a];
-
-      for (const mac::GroupPlan& plan : grouping.schedule.groups) {
-        schedule_span.add_cost(plan.members.size());
-        group_size_sum += static_cast<double>(plan.members.size());
-        ++group_count;
-        const bool is_multicast =
-            plan.members.size() > 1 && plan.multicast_rate_mbps > 0.0 &&
-            plan.group_overlap_bits > 0.0;
-        for (const mac::UserDemand& demand : plan.members) {
-          const std::size_t u = demand.user;
-          const double bits = demand.total_bits;
-          // Application-layer throughput sample: bits over the transfer
-          // time this user's frame actually took — multicast sharing shows
-          // up here as a higher effective rate.
-          double transfer_s = 0.0;
-          if (is_multicast) {
-            transfer_s =
-                tx_time_s(plan.group_overlap_bits, plan.multicast_rate_mbps);
-            const double residual =
-                std::max(bits - plan.group_overlap_bits, 0.0);
-            if (demand.unicast_rate_mbps > 0.0)
-              transfer_s += tx_time_s(residual, demand.unicast_rate_mbps);
-          } else if (demand.unicast_rate_mbps > 0.0) {
-            transfer_s = tx_time_s(bits, demand.unicast_rate_mbps);
-          }
-          if (transfer_s > 0.0)
-            app_sample_mbps[u] = bits_to_megabits(bits / transfer_s);
-          if (is_multicast) {
-            multicast_bits += plan.group_overlap_bits;
-            unicast_bits +=
-                std::max(bits - plan.group_overlap_bits, 0.0);
-          } else {
-            unicast_bits += bits;
-          }
-          users[u].delivered_bits += bits;
-          const std::size_t tier = users[u].tier;
-          // The frame is playable only after the client decodes it.
-          double visible_points = 0.0;
-          for (vv::CellId cell = 0; cell < grid.cell_count(); ++cell) {
-            const double lod = prediction.visibility[u].lod(cell);
-            if (lod > 0.0)
-              visible_points += lod * store.cell_points(frame, tier, cell);
-          }
-          const double decode_time =
-              config.decode_points_per_second > 0.0
-                  ? visible_points / config.decode_points_per_second
-                  : 0.0;
-          if (has_faults && injector.decoder_stalled(u)) {
-            // The decoder is frozen: nothing completes before the stall
-            // lifts (clamped to the session end for permanent stalls).
-            const double resume = std::min(injector.decoder_stall_until(u),
-                                           config.duration_s);
-            users[u].decode_free_at =
-                std::max(users[u].decode_free_at, resume);
-          }
-          users[u].decode_free_at =
-              std::max(users[u].decode_free_at, delivery_time) + decode_time;
-          users[u].m2p.add(users[u].decode_free_at - t);
-          if (has_faults && injector.frame_lost(u, tick)) {
-            // Corrupted on the air interface: the airtime was spent but
-            // nothing playable arrives. Conceal by holding the last
-            // decoded frame (bounded), else the frame is skipped.
-            queue.schedule_at(users[u].decode_free_at, [this, u]() {
-              if (users[u].player.conceal()) {
-                ++freport.concealed_frames;
-              } else {
-                ++freport.skipped_frames;
-              }
-            });
-          } else {
-            queue.schedule_at(users[u].decode_free_at,
-                              [this, u, frame, tier, bits]() {
-              users[u].player.deliver({frame, tier, bits});
-            });
-          }
-        }
-      }
-
-      // Prefetch: fetch one frame ahead per tick of credit, while the air
-      // queue is healthy.
-      for (std::size_t u : members) {
-        if (users[u].prefetch_credit == 0 ||
-            backlog[a] > config.max_backlog_s * 0.5)
-          continue;
-        --users[u].prefetch_credit;
-        ++users[u].frames_ahead;
-        if (tel != nullptr) {
-          obs::Event e;
-          e.tick = tick32;
-          e.layer = obs::Layer::kSession;
-          e.type = obs::EventType::kPrefetch;
-          e.user = static_cast<std::uint32_t>(u);
-          e.ap = ap32;
-          tel->record_event(e);
-        }
-        const std::size_t next_frame = (frame + 1) % config.video_frames;
-        const double bits = visible_bits(prediction.visibility[u], store,
-                                         next_frame, users[u].tier);
-        if (unicast_rate[u] <= 0.0) continue;
-        const double extra_air = tx_time_s(bits, unicast_rate[u]);
-        scheduled_airtime += extra_air;
-        backlog[a] += extra_air;
-        unicast_bits += bits;
-        users[u].delivered_bits += bits;
-        const double when = t + backlog[a];
-        const std::size_t tier = users[u].tier;
-        if (has_faults && injector.frame_lost(u, tick)) {
-          queue.schedule_at(when, [this, u]() {
-            if (users[u].player.conceal()) {
-              ++freport.concealed_frames;
-            } else {
-              ++freport.skipped_frames;
-            }
-          });
-        } else {
-          queue.schedule_at(when, [this, u, next_frame, tier, bits]() {
-            users[u].player.deliver({next_frame, tier, bits});
-          });
-        }
-      }
-
-      schedule_span.end();
-
-      // Viewport-prediction quality: what fraction of the cells each member
-      // actually needs (at its true pose) did the prediction-driven fetch
-      // miss?
-      // Ground-truth visibility per member is another full visibility
-      // computation: fan out into (needed, missed) slots, then fold into
-      // the per-user running sums serially, in member order.
-      std::vector<std::pair<std::size_t, std::size_t>> miss_tally(
-          members.size());
-      pool.parallel_for(members.size(), [&](std::size_t i) {
-        const std::size_t u = members[i];
-        std::vector<geo::BodyObstacle> local_bodies;
-        if (config.enable_user_occlusion) {
-          for (std::size_t v = 0; v < n; ++v) {
-            if (v == u) continue;
-            local_bodies.push_back(
-                {local_poses[v].position, 0.25, 1.8});
-          }
-        }
-        const auto actual = view::compute_visibility(
-            grid, occupancy[frame], local_poses[u],
-            joint.config().visibility, local_bodies);
-        std::size_t needed = 0;
-        std::size_t missed = 0;
-        for (vv::CellId cell = 0; cell < grid.cell_count(); ++cell) {
-          if (!actual.visible(cell)) continue;
-          ++needed;
-          if (!prediction.visibility[u].visible(cell)) ++missed;
-        }
-        miss_tally[i] = {needed, missed};
-      });
-      for (std::size_t i = 0; i < members.size(); ++i) {
-        const auto [needed, missed] = miss_tally[i];
-        if (needed > 0) {
-          users[members[i]].miss_sum += static_cast<double>(missed) /
-                                        static_cast<double>(needed);
-          ++users[members[i]].miss_count;
-        }
-      }
-    }
-
-    // ---- 8. app-layer observation + playback ---------------------------
-    obs::Span player_span(tel, obs::Stage::kPlayer, tick32);
-    player_span.add_cost(n);
-    for (std::size_t u = 0; u < n; ++u) {
-      if (app_sample_mbps[u] > 0.0)
-        users[u].predictor.observe(app_sample_mbps[u], unicast_rate[u]);
-      if (has_faults) {
-        const bool is_absent = absent(u);
-        const bool delivering = !is_absent && ap_up[assignment[u]] &&
-                                unicast_rate[u] > 0.0;
-        const bool impaired =
-            injector.probe_fail(u) || injector.sector_stuck(u) ||
-            injector.decoder_stalled(u) ||
-            injector.frame_loss_probability(u) > 0.0;
-        const fault::HealthState s =
-            health[u].observe(t, delivering, unicast_rate[u], impaired);
-        if (s == fault::HealthState::kDegraded) ++freport.degraded_user_ticks;
-        if (s == fault::HealthState::kOutage) ++freport.unhealthy_user_ticks;
-        if (!is_absent) {
-          // Playback continues only while the user is in the room; stalls
-          // during an active fault are attributed to it.
-          const double stall_before = users[u].player.stall_time_s();
-          users[u].player.advance(dt);
-          if (injector.any_active())
-            freport.fault_rebuffer_s +=
-                users[u].player.stall_time_s() - stall_before;
-        }
-      } else {
-        users[u].player.advance(dt);
-      }
-      if (config.tick_observer) {
-        config.tick_observer({t, u, users[u].player.buffer_s(),
-                              users[u].tier, unicast_rss[u],
-                              unicast_rate[u],
-                              users[u].blockage_forecast});
-      }
-    }
+    for (const auto& stage : pipeline) stage->run(state, ctx);
   }
-  queue.run();
+  state.queue.run();
 
   SessionResult result;
   result.qoe.duration_s = config.duration_s;
   for (std::size_t u = 0; u < n; ++u) {
     sim::UserQoe q;
     q.user = u;
-    q.displayed_fps = users[u].player.played_frames() / config.duration_s;
-    q.stall_time_s = users[u].player.stall_time_s();
+    q.displayed_fps =
+        state.users[u].player.played_frames() / config.duration_s;
+    q.stall_time_s = state.users[u].player.stall_time_s();
     q.stall_ratio = q.stall_time_s / config.duration_s;
-    q.mean_quality_tier = users[u].player.mean_played_tier();
-    q.quality_switches = users[u].player.quality_switches();
+    q.mean_quality_tier = state.users[u].player.mean_played_tier();
+    q.quality_switches = state.users[u].player.quality_switches();
     q.mean_goodput_mbps =
-        bits_to_megabits(users[u].delivered_bits / config.duration_s);
+        bits_to_megabits(state.users[u].delivered_bits / config.duration_s);
     q.viewport_miss_ratio =
-        users[u].miss_count > 0
-            ? users[u].miss_sum / static_cast<double>(users[u].miss_count)
+        state.users[u].miss_count > 0
+            ? state.users[u].miss_sum /
+                  static_cast<double>(state.users[u].miss_count)
             : 0.0;
-    q.mean_m2p_latency_s = users[u].m2p.mean();
-    q.max_m2p_latency_s = users[u].m2p.max();
+    q.mean_m2p_latency_s = state.users[u].m2p.mean();
+    q.max_m2p_latency_s = state.users[u].m2p.max();
     result.qoe.users.push_back(q);
   }
-  const double total_bits = multicast_bits + unicast_bits;
+  const double total_bits = state.multicast_bits + state.unicast_bits;
   result.multicast_bit_share =
-      total_bits > 0.0 ? multicast_bits / total_bits : 0.0;
+      total_bits > 0.0 ? state.multicast_bits / total_bits : 0.0;
   result.mean_group_size =
-      group_count > 0 ? group_size_sum / static_cast<double>(group_count)
-                      : 0.0;
-  result.custom_beam_uses = custom_beam_uses;
-  result.stock_beam_uses = stock_beam_uses;
-  result.blockage_forecasts = blockage_forecasts;
-  result.reflection_switches = reflection_switches;
-  result.dropped_ticks = dropped_ticks;
-  result.outage_user_ticks = outage_user_ticks;
-  result.sls_sweeps = sls_sweeps;
-  result.sls_outage_ticks = sls_outage_ticks;
+      state.group_count > 0
+          ? state.group_size_sum / static_cast<double>(state.group_count)
+          : 0.0;
+  result.custom_beam_uses = state.custom_beam_uses;
+  result.stock_beam_uses = state.stock_beam_uses;
+  result.blockage_forecasts = state.blockage_forecasts;
+  result.reflection_switches = state.reflection_switches;
+  result.dropped_ticks = state.dropped_ticks;
+  result.outage_user_ticks = state.outage_user_ticks;
+  result.sls_sweeps = state.sls_sweeps;
+  result.sls_outage_ticks = state.sls_outage_ticks;
   result.mean_airtime_utilization =
-      config.duration_s > 0.0 ? scheduled_airtime / config.duration_s : 0.0;
-  if (has_faults) {
+      config.duration_s > 0.0 ? state.scheduled_airtime / config.duration_s
+                              : 0.0;
+  if (state.has_faults) {
     RunningStats ttr;
-    for (const fault::HealthMonitor& monitor : health) {
+    for (const fault::HealthMonitor& monitor : state.health) {
       for (double episode : monitor.recovery_times()) ttr.add(episode);
-      freport.health_transitions += monitor.transitions();
+      state.freport.health_transitions += monitor.transitions();
     }
-    freport.recoveries = ttr.count();
-    freport.mean_time_to_recover_s = ttr.mean();
-    freport.max_time_to_recover_s = ttr.max();
+    state.freport.recoveries = ttr.count();
+    state.freport.mean_time_to_recover_s = ttr.mean();
+    state.freport.max_time_to_recover_s = ttr.max();
   }
-  result.faults = freport;
+  result.faults = state.freport;
   return result;
 }
 
@@ -1172,7 +204,7 @@ Session::Session(Session&&) noexcept = default;
 Session& Session::operator=(Session&&) noexcept = default;
 
 const SessionConfig& Session::config() const noexcept {
-  return impl_->config;
+  return impl_->state.config;
 }
 
 SessionResult Session::run() { return impl_->run(); }

@@ -19,8 +19,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-
+#include <string>
 #include <vector>
 
 #include "core/bandwidth_predictor.h"
@@ -29,7 +30,7 @@
 #include "core/testbed.h"
 #include "fault/fault_plan.h"
 #include "fault/health.h"
-#include "sim/metrics.h"
+#include "sim/qoe.h"
 #include "trace/mobility.h"
 
 namespace volcast::obs {
@@ -111,6 +112,16 @@ struct SessionConfig {
   BandwidthEstimator estimator = BandwidthEstimator::kCrossLayer;
   std::size_t ap_count = 1;
 
+  /// Pipeline-slot policy overrides by name, applied on top of the
+  /// defaults the ablation switches select: e.g. {"grouping",
+  /// "pairs_only"} or {"beam", "reactive"}. Keys are the six slot names
+  /// ("prediction", "beam", "adaptation", "mitigation", "grouping",
+  /// "transport"); values are names registered in the stage policy
+  /// registry (core/stages/registry.h). validate() rejects unknown slots
+  /// and names. This is what `volcast_sim --policy grouping=greedy_iou`
+  /// sets.
+  std::map<std::string, std::string> policy_overrides;
+
   /// Called once per user per tick with the live session state; leave
   /// empty for no overhead. Used by volcast_sim --timeline to export CSVs.
   std::function<void(const TickSample&)> tick_observer;
@@ -174,7 +185,9 @@ class Session {
   [[nodiscard]] const SessionConfig& config() const noexcept;
 
   /// Simulates the whole session and returns the outcome. Deterministic
-  /// for a given config.
+  /// for a given config. Single-shot: the run consumes the session's
+  /// mutable state (players, predictors, RNG streams), so a second call
+  /// throws std::logic_error — construct a fresh Session to re-run.
   [[nodiscard]] SessionResult run();
 
  private:

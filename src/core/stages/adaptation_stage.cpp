@@ -1,0 +1,86 @@
+#include "core/stages/adaptation_stage.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/units.h"
+#include "core/stages/session_state.h"
+#include "core/stages/tick_context.h"
+
+namespace volcast::core {
+
+void AdaptationStage::run(SessionState& state, TickContext& ctx) {
+  const SessionConfig& config = state.config;
+  const std::size_t n = state.user_count();
+  obs::Telemetry* tel = state.tel;
+  auto& users = state.users;
+
+  obs::Span adapt_span = ctx.span(obs::Stage::kAdapt);
+  RateAdapterConfig rc;
+  rc.policy = policy_;
+  rc.low_buffer_s = 0.75 / config.fps;  // under one frame buffered
+  rc.high_buffer_s = 1.6 / config.fps;  // healthy: > 1.6 frames
+  rc.metrics = tel != nullptr ? &tel->metrics() : nullptr;
+  const RateAdapter adapter(rc);
+  if (tel != nullptr)
+    for (std::size_t u = 0; u < n; ++u) state.prev_tier[u] = users[u].tier;
+  std::vector<std::size_t> ap_active(state.coordinator.ap_count(), 0);
+  for (std::size_t u = 0; u < n; ++u)
+    if (ctx.unicast_rate[u] > 0.0) ++ap_active[state.assignment[u]];
+  // Per-user decisions over per-user state; the only shared tally
+  // (fallback tier drops) goes through slots reduced in user order.
+  std::vector<std::size_t> tier_drop_tally(n, 0);
+  state.pool.parallel_for(n, [&](std::size_t u) {
+    AdaptationInput in;
+    in.buffer_s = users[u].player.buffer_s();
+    // The air interface is shared: a user can only count on its share of
+    // the frame interval (the central scheduler knows the user count —
+    // exactly the paper's argument for server-side adaptation).
+    const double share = static_cast<double>(
+        std::max<std::size_t>(ap_active[state.assignment[u]], 1));
+    in.predicted_mbps = users[u].predictor.predict_mbps() / share;
+    in.tier_count = state.store.tier_count();
+    in.current_tier = users[u].tier;
+    in.blockage_forecast = users[u].blockage_forecast;
+    for (std::size_t q = 0; q < state.store.tier_count() && q < 3; ++q) {
+      in.demand_mbps[q] = bits_to_megabits(
+          visible_bits(ctx.prediction.visibility[u], state.store,
+                       ctx.target_frame, q) *
+          config.fps);
+    }
+    const AdaptationDecision decision = adapter.decide(in);
+    users[u].tier = decision.tier;
+    if (state.has_faults && state.fault_fallback[u] != 0) {
+      // Fallback chain, step 3 (last resort): a user riding a fallback
+      // beam whose link cannot carry its tier sheds quality immediately
+      // instead of waiting for the adapter's smoothed estimate.
+      while (users[u].tier > 0 &&
+             in.demand_mbps[std::min<std::size_t>(users[u].tier, 2)] >
+                 in.predicted_mbps) {
+        --users[u].tier;
+        ++tier_drop_tally[u];
+      }
+    }
+    if (decision.prefetch && users[u].prefetch_credit == 0)
+      users[u].prefetch_credit = 2;
+  });
+  for (std::size_t drops : tier_drop_tally)
+    state.freport.fallback_tier_drops += drops;
+  if (tel != nullptr) {
+    for (std::size_t u = 0; u < n; ++u) {
+      if (users[u].tier == state.prev_tier[u]) continue;
+      obs::Event e;
+      e.tick = ctx.tick32;
+      e.layer = obs::Layer::kRate;
+      e.type = obs::EventType::kTierChange;
+      e.user = static_cast<std::uint32_t>(u);
+      e.value = static_cast<double>(users[u].tier);
+      e.has_value = true;
+      tel->record_event(e);
+    }
+  }
+  adapt_span.add_cost(n);
+  adapt_span.end();
+}
+
+}  // namespace volcast::core

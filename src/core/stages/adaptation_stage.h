@@ -1,0 +1,34 @@
+// Pipeline stage 3: per-user quality-tier adaptation.
+//
+// Registered policies ("cross_layer", "buffer", "none") map onto the
+// RateAdapter's AdaptationPolicy; the adapter itself is rebuilt per tick
+// (it is a cheap value type and its config carries the live metrics sink).
+#pragma once
+
+#include "core/rate_adapter.h"
+#include "core/stages/stage.h"
+
+namespace volcast::core {
+
+class AdaptationStage final : public Stage {
+ public:
+  explicit AdaptationStage(AdaptationPolicy policy) : policy_(policy) {}
+
+  [[nodiscard]] StageKind kind() const noexcept override {
+    return StageKind::kAdaptation;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    switch (policy_) {
+      case AdaptationPolicy::kNone: return "none";
+      case AdaptationPolicy::kBufferOnly: return "buffer";
+      case AdaptationPolicy::kCrossLayer: return "cross_layer";
+    }
+    return "?";
+  }
+  void run(SessionState& state, TickContext& ctx) override;
+
+ private:
+  AdaptationPolicy policy_;
+};
+
+}  // namespace volcast::core

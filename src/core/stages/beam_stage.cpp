@@ -1,0 +1,261 @@
+#include "core/stages/beam_stage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/stages/session_state.h"
+#include "core/stages/tick_context.h"
+#include "mmwave/link.h"
+#include "mmwave/sls.h"
+
+namespace volcast::core {
+
+void BeamStage::run(SessionState& state, TickContext& ctx) {
+  const SessionConfig& config = state.config;
+  const std::size_t n = state.user_count();
+  const std::uint32_t tick32 = ctx.tick32;
+  obs::Telemetry* tel = state.tel;
+  auto& users = state.users;
+  auto& assignment = state.assignment;
+  const auto& ap_up = state.ap_up;
+  const auto absent = [&](std::size_t u) { return state.absent(u); };
+
+  // ---- AP assignment (refreshed every second, and immediately when an AP
+  // goes dark or comes back) ----------------------------------------------
+  if (state.coordinator.ap_count() > 1 &&
+      (ctx.tick % 30 == 0 || ctx.availability_changed)) {
+    obs::Span assign_span = ctx.span(obs::Stage::kAssign);
+    assign_span.add_cost(n * state.coordinator.ap_count());
+    assignment = state.has_faults
+                     ? state.coordinator.assign_users(
+                           ctx.room_pos,
+                           std::span<const bool>(ap_up.data(),
+                                                 state.coordinator.ap_count()))
+                     : state.coordinator.assign_users(ctx.room_pos);
+  }
+
+  // Multicast membership tracking: the set of users each AP can serve.
+  // Under an active fault, any change to that set is a group reformation
+  // (member churned, blacked out, or was re-homed after an AP outage).
+  if (state.has_faults) {
+    for (std::size_t a = 0; a < state.coordinator.ap_count(); ++a) {
+      std::vector<std::size_t> sig;
+      if (ap_up[a]) {
+        for (std::size_t u = 0; u < n; ++u)
+          if (assignment[u] == a && !absent(u)) sig.push_back(u);
+      }
+      if (ctx.tick > 0 && state.injector.any_active() &&
+          sig != state.prev_active[a])
+        ++state.freport.group_reformations;
+      state.prev_active[a] = std::move(sig);
+    }
+  }
+
+  // ---- per-user unicast link state --------------------------------------
+  obs::Span link_span = ctx.span(obs::Stage::kLink);
+  ctx.unicast_rate.assign(n, 0.0);
+  ctx.unicast_rss.assign(n, -200.0);
+  auto& unicast_rate = ctx.unicast_rate;
+  auto& unicast_rss = ctx.unicast_rss;
+  const mmwave::SlsProcedure sls;
+  // Per-user counter deltas: parallel lanes touch only their own slot;
+  // the shared tallies are reduced serially, in user order, below.
+  struct LinkTally {
+    std::size_t probe_retries = 0;
+    std::size_t fallback_stock_beams = 0;
+    std::size_t fallback_reflection_beams = 0;
+    std::size_t sls_sweeps = 0;
+    std::size_t sls_outage_ticks = 0;
+    std::size_t reflection_switches = 0;
+  };
+  std::vector<LinkTally> link_tally(n);
+  state.pool.parallel_for(n, [&](std::size_t u) {
+    LinkTally& tally = link_tally[u];
+    // Telemetry events land in this lane's own slot (merged serially in
+    // user order below); counters are atomic and commutative.
+    const auto push_event = [&](obs::Layer layer, obs::EventType type) {
+      if (tel == nullptr) return;
+      obs::Event e;
+      e.tick = tick32;
+      e.layer = layer;
+      e.type = type;
+      e.user = static_cast<std::uint32_t>(u);
+      state.lane_events[u].push_back(e);
+    };
+    if (state.has_faults && (absent(u) || !ap_up[assignment[u]])) {
+      // Churned out, or the serving AP is dark: no delivery path at all
+      // this tick. The player rides its buffer until recovery.
+      unicast_rss[u] = -200.0;
+      unicast_rate[u] = 0.0;
+      users[u].predictor.set_phy_state(0.0, false);
+      return;
+    }
+    const Testbed& tb = state.coordinator.ap(assignment[u]);
+    std::vector<geo::BodyObstacle> others;
+    for (std::size_t v = 0; v < n; ++v)
+      if (v != u && !absent(v)) others.push_back(ctx.bodies[v]);
+    for (const geo::BodyObstacle& o : state.injector.obstacles())
+      others.push_back(o);
+
+    mmwave::Awv serving;
+    if (state.has_faults && state.injector.sector_stuck(u)) {
+      // Stuck sector: the radio keeps riding the sweep result frozen at
+      // the moment the fault hit, however stale it gets.
+      SessionState::User& st = users[u];
+      if (!st.was_stuck) {
+        st.was_stuck = true;
+        st.stuck_pos = ctx.room_pos[u];
+      }
+      serving = tb.codebook().beam(
+          tb.codebook().best_beam_toward(tb.ap(), st.stuck_pos));
+      state.fault_fallback[u] = 1;
+    } else if (predictive_) {
+      users[u].was_stuck = false;
+      // The paper's proposal: steer from the (predicted) 6DoF position,
+      // no beam search, no outage. A custom beam must be probed before
+      // use, and under a probe fault that probe fails: retry with
+      // exponential backoff, riding the fallback chain meanwhile.
+      bool use_custom = true;
+      if (state.has_faults) {
+        SessionState::User& st = users[u];
+        if (st.probe_backoff_ticks > 0) {
+          --st.probe_backoff_ticks;  // still backing off a failed probe
+          use_custom = false;
+        } else if (state.injector.probe_fail(u)) {
+          ++tally.probe_retries;
+          push_event(obs::Layer::kMmwave, obs::EventType::kProbeRetry);
+          st.probe_backoff_ticks = st.probe_backoff_next;
+          st.probe_backoff_next = std::min(st.probe_backoff_next * 2, 16);
+          use_custom = false;
+        } else {
+          st.probe_backoff_next = 1;  // probe succeeded
+        }
+      }
+      if (use_custom) {
+        serving = state.designers[assignment[u]]
+                      .design_unicast(ctx.room_pos[u], others)
+                      .awv;
+      } else {
+        // Fallback chain, step 1: the stock sector beam needs no probe.
+        serving = tb.codebook().beam(
+            tb.codebook().best_beam_toward(tb.ap(), ctx.room_pos[u]));
+        ++tally.fallback_stock_beams;
+        push_event(obs::Layer::kMmwave, obs::EventType::kFallbackStockBeam);
+        state.fault_fallback[u] = 1;
+      }
+    } else {
+      // Reactive baseline: ride the last swept sector; re-train via SLS
+      // when it goes stale, paying the 5-20 ms search outage.
+      SessionState::User& st = users[u];
+      auto start_sweep = [&] {
+        st.sls_remaining_ticks = std::max(
+            1, static_cast<int>(
+                   std::ceil(sls.outage_s(tb.codebook()) * config.fps)));
+        ++tally.sls_sweeps;
+        push_event(obs::Layer::kMmwave, obs::EventType::kSlsSweep);
+      };
+      if (st.sls_remaining_ticks > 0) {
+        --st.sls_remaining_ticks;
+        ++tally.sls_outage_ticks;
+        if (st.sls_remaining_ticks == 0) {
+          st.serving_awv = tb.codebook().beam(
+              tb.codebook().best_beam_toward(tb.ap(), ctx.room_pos[u]));
+        }
+        unicast_rss[u] = -200.0;
+        unicast_rate[u] = 0.0;
+        users[u].predictor.set_phy_state(0.0, users[u].blockage_forecast);
+        return;
+      }
+      if (st.serving_awv.empty()) {
+        start_sweep();
+        unicast_rss[u] = -200.0;
+        unicast_rate[u] = 0.0;
+        users[u].predictor.set_phy_state(0.0, users[u].blockage_forecast);
+        return;
+      }
+      const double serving_rss =
+          mmwave::rss_dbm(tb.ap(), st.serving_awv, tb.channel(),
+                          ctx.room_pos[u], others, tb.budget(), tb.blockage(),
+                          state.rss_evals);
+      const double best_rss = mmwave::best_beam_rss_dbm(
+          tb.ap(), tb.codebook(), tb.channel(), ctx.room_pos[u], others,
+          tb.budget(), tb.blockage(), state.rss_evals);
+      // Re-train when the sector went stale — or when the link fell
+      // below the usable floor, which a reactive device cannot tell
+      // apart from misalignment. Sweeping into a body blockage is
+      // exactly the wasted 5-20 ms the paper's proactive design avoids.
+      if (serving_rss < best_rss - config.sls_staleness_db ||
+          serving_rss < -68.0)
+        start_sweep();
+      serving = st.serving_awv;  // stale or not, it carries this tick
+    }
+
+    double rss = mmwave::rss_dbm(tb.ap(), serving, tb.channel(),
+                                 ctx.room_pos[u], others, tb.budget(),
+                                 tb.blockage(), state.rss_evals) +
+                 ctx.shadow[u];
+    // Reflection override from an earlier mitigation action: use it when
+    // it currently beats the (possibly blocked) line of sight.
+    if (users[u].reflection_ticks > 0 && !users[u].reflection_awv.empty()) {
+      const double refl =
+          mmwave::rss_dbm(tb.ap(), users[u].reflection_awv, tb.channel(),
+                          ctx.room_pos[u], others, tb.budget(), tb.blockage(),
+                          state.rss_evals) +
+          ctx.shadow[u];
+      if (refl > rss) {
+        rss = refl;
+        ++tally.reflection_switches;
+        push_event(obs::Layer::kMmwave, obs::EventType::kReflectionSwitch);
+      }
+      --users[u].reflection_ticks;
+    }
+    if (state.has_faults && state.fault_fallback[u] != 0 && rss < -68.0) {
+      // Fallback chain, step 2: the stock beam is unusable too (stale
+      // sector, or a fault-spawned obstacle shadows the LoS) — try a
+      // reflected path off the room surfaces.
+      const GroupBeam refl_beam =
+          state.designers[assignment[u]].design_reflection(ctx.room_pos[u],
+                                                           others);
+      if (!refl_beam.awv.empty()) {
+        const double refl_rss =
+            mmwave::rss_dbm(tb.ap(), refl_beam.awv, tb.channel(),
+                            ctx.room_pos[u], others, tb.budget(),
+                            tb.blockage(), state.rss_evals) +
+            ctx.shadow[u];
+        if (refl_rss > rss) {
+          rss = refl_rss;
+          ++tally.fallback_reflection_beams;
+          push_event(obs::Layer::kMmwave, obs::EventType::kFallbackReflection);
+        }
+      }
+    }
+    unicast_rss[u] = rss;
+    unicast_rate[u] = state.mcs->goodput_mbps(rss);
+    if (state.coordinator.ap_count() > 1) {
+      unicast_rate[u] *= state.coordinator.interference_factor(
+          assignment[u], ctx.room_pos[u], rss, state.concurrent_beams);
+    }
+    users[u].predictor.set_phy_state(unicast_rate[u],
+                                     users[u].blockage_forecast);
+  });
+  for (const LinkTally& tally : link_tally) {
+    state.freport.probe_retries += tally.probe_retries;
+    state.freport.fallback_stock_beams += tally.fallback_stock_beams;
+    state.freport.fallback_reflection_beams += tally.fallback_reflection_beams;
+    state.sls_sweeps += tally.sls_sweeps;
+    state.sls_outage_ticks += tally.sls_outage_ticks;
+    state.reflection_switches += tally.reflection_switches;
+  }
+  if (tel != nullptr) {
+    for (std::size_t u = 0; u < n; ++u) {
+      tel->append(state.lane_events[u]);
+      state.lane_events[u].clear();
+    }
+  }
+  link_span.add_cost(n * n);
+  link_span.end();
+}
+
+}  // namespace volcast::core

@@ -1,0 +1,31 @@
+// Pipeline stage 2: AP assignment and per-user beam tracking / unicast
+// link state.
+//
+// Two registered policies share this class:
+//   "predictive" — the paper's proposal: steer from the predicted 6DoF
+//                  position, no beam search, no outage.
+//   "reactive"   — 802.11ad SLS baseline: ride the last swept sector and
+//                  pay the 5-20 ms search outage when it goes stale.
+#pragma once
+
+#include "core/stages/stage.h"
+
+namespace volcast::core {
+
+class BeamStage final : public Stage {
+ public:
+  explicit BeamStage(bool predictive) : predictive_(predictive) {}
+
+  [[nodiscard]] StageKind kind() const noexcept override {
+    return StageKind::kBeam;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return predictive_ ? "predictive" : "reactive";
+  }
+  void run(SessionState& state, TickContext& ctx) override;
+
+ private:
+  bool predictive_;
+};
+
+}  // namespace volcast::core

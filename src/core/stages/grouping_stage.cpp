@@ -1,0 +1,218 @@
+#include "core/stages/grouping_stage.h"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/stages/session_state.h"
+#include "core/stages/tick_context.h"
+#include "mmwave/link.h"
+#include "viewport/similarity.h"
+
+namespace volcast::core {
+
+void GroupingStage::run(SessionState& state, TickContext& ctx) {
+  const SessionConfig& config = state.config;
+  const std::size_t n = state.user_count();
+  const std::size_t frame = ctx.frame;
+  const std::uint32_t tick32 = ctx.tick32;
+  obs::Telemetry* tel = state.tel;
+  auto& users = state.users;
+  const auto absent = [&](std::size_t u) { return state.absent(u); };
+
+  ctx.ap_plans.assign(state.coordinator.ap_count(), {});
+  for (std::size_t a = 0; a < state.coordinator.ap_count(); ++a) {
+    const auto ap32 = static_cast<std::uint32_t>(a);
+    if (state.has_faults && !state.ap_up[a]) {
+      // AP in outage: it schedules nothing and radiates nothing.
+      state.concurrent_beams[a].clear();
+      state.backlog[a] = std::max(0.0, state.backlog[a] - state.dt);
+      continue;
+    }
+    // Users of this AP that still need this tick's frame.
+    std::vector<std::size_t>& members = ctx.ap_plans[a].members;  // user ids
+    for (std::size_t u = 0; u < n; ++u) {
+      if (state.assignment[u] != a) continue;
+      if (absent(u)) continue;  // churned out mid-session
+      if (users[u].frames_ahead > 0) {
+        --users[u].frames_ahead;  // already prefetched
+        continue;
+      }
+      if (ctx.unicast_rate[u] <= 0.0) {
+        // Deep blockage outage: even the control PHY fails, nothing can
+        // be delivered this tick. The player rides its buffer.
+        ++state.outage_user_ticks;
+        if (tel != nullptr) {
+          obs::Event e;
+          e.tick = tick32;
+          e.layer = obs::Layer::kMmwave;
+          e.type = obs::EventType::kOutage;
+          e.user = static_cast<std::uint32_t>(u);
+          e.ap = ap32;
+          tel->record_event(e);
+        }
+        continue;
+      }
+      members.push_back(u);
+    }
+    if (members.empty()) continue;
+
+    if (state.backlog[a] > config.max_backlog_s) {
+      // Air queue over budget: skip this round entirely (frame drop);
+      // the buffers and the adapter absorb it.
+      ++state.dropped_ticks;
+      if (tel != nullptr) {
+        obs::Event e;
+        e.tick = tick32;
+        e.layer = obs::Layer::kMac;
+        e.type = obs::EventType::kDroppedTick;
+        e.ap = ap32;
+        tel->record_event(e);
+      }
+      state.backlog[a] = std::max(0.0, state.backlog[a] - state.dt);
+      continue;
+    }
+
+    obs::Span group_span = ctx.span(obs::Stage::kGroup, ap32);
+    group_span.add_cost(members.size() * members.size());
+    std::vector<UserState> states(members.size());
+    state.pool.parallel_for(members.size(), [&](std::size_t i) {
+      const std::size_t u = members[i];
+      UserState s;
+      s.user = u;
+      s.visibility = &ctx.prediction.visibility[u];
+      s.total_bits = visible_bits(ctx.prediction.visibility[u], state.store,
+                                  frame, users[u].tier);
+      s.unicast_rate_mbps = ctx.unicast_rate[u];
+      states[i] = s;
+    });
+
+    auto group_tier = [&](std::span<const std::size_t> idx) {
+      std::size_t tier = 0;
+      for (std::size_t i : idx) tier = std::max(tier, users[members[i]].tier);
+      return tier;
+    };
+    auto overlap_bits_fn = [&](std::span<const std::size_t> idx) {
+      std::vector<view::VisibilityMap> maps;
+      maps.reserve(idx.size());
+      for (std::size_t i : idx)
+        maps.push_back(ctx.prediction.visibility[members[i]]);
+      const view::VisibilityMap inter = view::intersection(maps);
+      return visible_bits(inter, state.store, frame, group_tier(idx));
+    };
+    auto group_rate_fn = [&](std::span<const std::size_t> idx) {
+      if (!config.enable_multicast) return 0.0;
+      std::vector<geo::Vec3> positions;
+      std::vector<geo::Vec3> other_positions;
+      std::vector<geo::BodyObstacle> non_member_bodies;
+      positions.reserve(idx.size());
+      for (std::size_t i : idx) positions.push_back(ctx.room_pos[members[i]]);
+      for (std::size_t u = 0; u < n; ++u) {
+        if (absent(u)) continue;
+        if (std::find_if(idx.begin(), idx.end(), [&](std::size_t i) {
+              return members[i] == u;
+            }) == idx.end()) {
+          other_positions.push_back(ctx.room_pos[u]);
+          non_member_bodies.push_back(ctx.bodies[u]);
+        }
+      }
+      for (const geo::BodyObstacle& o : state.injector.obstacles())
+        non_member_bodies.push_back(o);
+      const GroupBeam beam = state.designers[a].design_multicast(
+          positions, non_member_bodies, other_positions);
+      // Worst member RSS including that member's shadowing.
+      double min_rss = 1e9;
+      for (std::size_t i : idx) {
+        const std::size_t u = members[i];
+        const Testbed& tb = state.coordinator.ap(a);
+        std::vector<geo::BodyObstacle> others;
+        for (std::size_t v = 0; v < n; ++v)
+          if (v != u && !absent(v)) others.push_back(ctx.bodies[v]);
+        for (const geo::BodyObstacle& o : state.injector.obstacles())
+          others.push_back(o);
+        const double rss =
+            mmwave::rss_dbm(tb.ap(), beam.awv, tb.channel(), ctx.room_pos[u],
+                            others, tb.budget(), tb.blockage()) +
+            ctx.shadow[u];
+        min_rss = std::min(min_rss, rss);
+      }
+      return state.mcs->goodput_mbps(min_rss);
+    };
+
+    GrouperConfig gc;
+    gc.policy = policy_;
+    gc.target_fps = config.fps;
+    gc.min_iou = config.grouping_min_iou;
+    GroupingResult& grouping = ctx.ap_plans[a].grouping;
+    grouping = form_groups(states, gc, group_rate_fn, overlap_bits_fn);
+    group_span.end();
+    if (tel != nullptr) {
+      for (std::size_t g = 0; g < grouping.groups.size(); ++g) {
+        obs::Event e;
+        e.tick = tick32;
+        e.layer = obs::Layer::kGrouping;
+        e.type = obs::EventType::kGroupFormed;
+        e.group = static_cast<std::uint32_t>(g);
+        e.ap = ap32;
+        e.value = static_cast<double>(grouping.groups[g].size());
+        e.has_value = true;
+        tel->record_event(e);
+      }
+    }
+
+    obs::Span beam_span = ctx.span(obs::Stage::kBeam, ap32);
+    // Beam bookkeeping for the result counters and for next tick's
+    // cross-AP interference screening (largest group's beam represents
+    // this AP's transmission; unicast fallback below).
+    if (!grouping.groups.empty()) {
+      const auto largest = std::max_element(
+          grouping.groups.begin(), grouping.groups.end(),
+          [](const auto& lhs, const auto& rhs) {
+            return lhs.size() < rhs.size();
+          });
+      if (largest->size() == 1) {
+        state.concurrent_beams[a] = state.coordinator.ap(a).ap().steer_at(
+            ctx.room_pos[largest->front()]);
+      }
+    } else {
+      state.concurrent_beams[a].clear();
+    }
+    // Multicast beam design is the heavy per-group step and each group's
+    // beam is independent: design into per-group slots in parallel, then
+    // apply counters and the AP's transmit beam serially in group order
+    // (the last multicast group's beam represents this AP next tick,
+    // exactly as in the serial loop).
+    std::vector<GroupBeam> group_beams(grouping.groups.size());
+    state.pool.parallel_for(grouping.groups.size(), [&](std::size_t g) {
+      const auto& group = grouping.groups[g];
+      if (group.size() < 2) return;
+      std::vector<geo::Vec3> positions;
+      std::vector<geo::BodyObstacle> non_member_bodies;
+      for (std::size_t u : group) positions.push_back(ctx.room_pos[u]);
+      for (std::size_t u = 0; u < n; ++u)
+        if (!absent(u) &&
+            std::find(group.begin(), group.end(), u) == group.end())
+          non_member_bodies.push_back(ctx.bodies[u]);
+      for (const geo::BodyObstacle& o : state.injector.obstacles())
+        non_member_bodies.push_back(o);
+      group_beams[g] =
+          state.designers[a].design_multicast(positions, non_member_bodies, {});
+    });
+    for (std::size_t g = 0; g < grouping.groups.size(); ++g) {
+      if (grouping.groups[g].size() < 2) continue;
+      beam_span.add_cost(grouping.groups[g].size());
+      GroupBeam& beam = group_beams[g];
+      if (beam.custom) {
+        ++state.custom_beam_uses;
+      } else {
+        ++state.stock_beam_uses;
+      }
+      state.concurrent_beams[a] = std::move(beam.awv);
+    }
+    beam_span.end();
+
+    ctx.ap_plans[a].active = true;
+  }
+}
+
+}  // namespace volcast::core

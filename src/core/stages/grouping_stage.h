@@ -1,0 +1,37 @@
+// Pipeline stage 5: per-AP member selection, multicast group formation
+// and group beam design.
+//
+// The grouping policy (the paper's greedy IoU merge, the pairs-capped and
+// exhaustive variants, or the unicast-only baseline) is fixed at pipeline
+// assembly: when multicast is ablated off, the registry selects
+// "unicast_only" regardless of SessionConfig::grouping.
+#pragma once
+
+#include "core/grouping.h"
+#include "core/stages/stage.h"
+
+namespace volcast::core {
+
+class GroupingStage final : public Stage {
+ public:
+  explicit GroupingStage(GroupingPolicy policy) : policy_(policy) {}
+
+  [[nodiscard]] StageKind kind() const noexcept override {
+    return StageKind::kGrouping;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    switch (policy_) {
+      case GroupingPolicy::kUnicastOnly: return "unicast_only";
+      case GroupingPolicy::kGreedyIoU: return "greedy_iou";
+      case GroupingPolicy::kPairsOnly: return "pairs_only";
+      case GroupingPolicy::kExhaustive: return "exhaustive";
+    }
+    return "?";
+  }
+  void run(SessionState& state, TickContext& ctx) override;
+
+ private:
+  GroupingPolicy policy_;
+};
+
+}  // namespace volcast::core

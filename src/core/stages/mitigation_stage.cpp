@@ -1,0 +1,27 @@
+#include "core/stages/mitigation_stage.h"
+
+#include <algorithm>
+
+#include "core/blockage_mitigator.h"
+#include "core/stages/session_state.h"
+#include "core/stages/tick_context.h"
+
+namespace volcast::core {
+
+void MitigationStage::run(SessionState& state, TickContext& ctx) {
+  if (!enabled_) return;
+  obs::Span mitigate_span = ctx.span(obs::Stage::kMitigate);
+  mitigate_span.add_cost(ctx.prediction.blockages.size());
+  const auto actions = state.mitigator.plan(
+      ctx.prediction.blockages, ctx.prediction.poses, ctx.unicast_rss);
+  for (const MitigationAction& action : actions) {
+    SessionState::User& u = state.users[action.user];
+    u.prefetch_credit = std::max(u.prefetch_credit, action.extra_prefetch_frames);
+    if (action.use_reflection_beam) {
+      u.reflection_awv = action.reflection_awv;
+      u.reflection_ticks = 15;  // half a second of override
+    }
+  }
+}
+
+}  // namespace volcast::core

@@ -1,0 +1,28 @@
+// Pipeline stage 4: proactive blockage mitigation (prefetch credit and
+// reflected-path beam overrides planned from the blockage forecasts).
+//
+// Registered policies: "proactive" (the paper's design) and "off" (the
+// ablation: forecasts are still produced but never acted on).
+#pragma once
+
+#include "core/stages/stage.h"
+
+namespace volcast::core {
+
+class MitigationStage final : public Stage {
+ public:
+  explicit MitigationStage(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] StageKind kind() const noexcept override {
+    return StageKind::kMitigation;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return enabled_ ? "proactive" : "off";
+  }
+  void run(SessionState& state, TickContext& ctx) override;
+
+ private:
+  bool enabled_;
+};
+
+}  // namespace volcast::core

@@ -1,0 +1,20 @@
+// Pipeline stage 1: observe poses, bodies and shadowing, then run the
+// joint (occlusion-aware) viewport predictor.
+#pragma once
+
+#include "core/stages/stage.h"
+
+namespace volcast::core {
+
+class PredictionStage final : public Stage {
+ public:
+  [[nodiscard]] StageKind kind() const noexcept override {
+    return StageKind::kPrediction;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "joint";
+  }
+  void run(SessionState& state, TickContext& ctx) override;
+};
+
+}  // namespace volcast::core

@@ -1,0 +1,150 @@
+#include "core/stages/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/session.h"
+#include "core/stages/adaptation_stage.h"
+#include "core/stages/beam_stage.h"
+#include "core/stages/grouping_stage.h"
+#include "core/stages/mitigation_stage.h"
+#include "core/stages/prediction_stage.h"
+#include "core/stages/transport_stage.h"
+
+namespace volcast::core {
+
+namespace {
+
+constexpr std::array<StageKind, kStageKindCount> kPipelineOrder = {
+    StageKind::kPrediction, StageKind::kBeam,     StageKind::kAdaptation,
+    StageKind::kMitigation, StageKind::kGrouping, StageKind::kTransport,
+};
+
+}  // namespace
+
+PolicyRegistry::PolicyRegistry() {
+  add(StageKind::kPrediction, "joint",
+      [](const SessionConfig&) { return std::make_unique<PredictionStage>(); });
+  add(StageKind::kBeam, "predictive", [](const SessionConfig&) {
+    return std::make_unique<BeamStage>(true);
+  });
+  add(StageKind::kBeam, "reactive", [](const SessionConfig&) {
+    return std::make_unique<BeamStage>(false);
+  });
+  add(StageKind::kAdaptation, "none", [](const SessionConfig&) {
+    return std::make_unique<AdaptationStage>(AdaptationPolicy::kNone);
+  });
+  add(StageKind::kAdaptation, "buffer", [](const SessionConfig&) {
+    return std::make_unique<AdaptationStage>(AdaptationPolicy::kBufferOnly);
+  });
+  add(StageKind::kAdaptation, "cross_layer", [](const SessionConfig&) {
+    return std::make_unique<AdaptationStage>(AdaptationPolicy::kCrossLayer);
+  });
+  add(StageKind::kMitigation, "proactive", [](const SessionConfig&) {
+    return std::make_unique<MitigationStage>(true);
+  });
+  add(StageKind::kMitigation, "off", [](const SessionConfig&) {
+    return std::make_unique<MitigationStage>(false);
+  });
+  add(StageKind::kGrouping, "unicast_only", [](const SessionConfig&) {
+    return std::make_unique<GroupingStage>(GroupingPolicy::kUnicastOnly);
+  });
+  add(StageKind::kGrouping, "greedy_iou", [](const SessionConfig&) {
+    return std::make_unique<GroupingStage>(GroupingPolicy::kGreedyIoU);
+  });
+  add(StageKind::kGrouping, "pairs_only", [](const SessionConfig&) {
+    return std::make_unique<GroupingStage>(GroupingPolicy::kPairsOnly);
+  });
+  add(StageKind::kGrouping, "exhaustive", [](const SessionConfig&) {
+    return std::make_unique<GroupingStage>(GroupingPolicy::kExhaustive);
+  });
+  add(StageKind::kTransport, "mac",
+      [](const SessionConfig&) { return std::make_unique<TransportStage>(); });
+}
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+void PolicyRegistry::add(StageKind kind, std::string name, Factory factory) {
+  slots_[static_cast<std::size_t>(kind)][std::move(name)] = std::move(factory);
+}
+
+bool PolicyRegistry::contains(StageKind kind, const std::string& name) const {
+  const auto& slot = slots_[static_cast<std::size_t>(kind)];
+  return slot.find(name) != slot.end();
+}
+
+std::unique_ptr<Stage> PolicyRegistry::create(StageKind kind,
+                                              const std::string& name,
+                                              const SessionConfig& c) const {
+  const auto& slot = slots_[static_cast<std::size_t>(kind)];
+  const auto it = slot.find(name);
+  if (it == slot.end()) {
+    std::string msg = "unknown ";
+    msg += to_string(kind);
+    msg += " policy '" + name + "'; registered:";
+    for (const auto& [known, factory] : slot) msg += " " + known;
+    throw std::invalid_argument(msg);
+  }
+  return it->second(c);
+}
+
+std::vector<std::string> PolicyRegistry::names(StageKind kind) const {
+  std::vector<std::string> out;
+  for (const auto& [name, factory] : slots_[static_cast<std::size_t>(kind)])
+    out.push_back(name);
+  return out;
+}
+
+std::optional<StageKind> parse_stage_kind(std::string_view text) {
+  for (StageKind kind : kPipelineOrder)
+    if (text == to_string(kind)) return kind;
+  return std::nullopt;
+}
+
+std::string default_policy(StageKind kind, const SessionConfig& c) {
+  switch (kind) {
+    case StageKind::kPrediction:
+      return "joint";
+    case StageKind::kBeam:
+      return c.predictive_beam_tracking ? "predictive" : "reactive";
+    case StageKind::kAdaptation:
+      switch (c.adaptation) {
+        case AdaptationPolicy::kNone: return "none";
+        case AdaptationPolicy::kBufferOnly: return "buffer";
+        case AdaptationPolicy::kCrossLayer: return "cross_layer";
+      }
+      return "cross_layer";
+    case StageKind::kMitigation:
+      return c.enable_blockage_mitigation ? "proactive" : "off";
+    case StageKind::kGrouping:
+      if (!c.enable_multicast) return "unicast_only";
+      switch (c.grouping) {
+        case GroupingPolicy::kUnicastOnly: return "unicast_only";
+        case GroupingPolicy::kGreedyIoU: return "greedy_iou";
+        case GroupingPolicy::kPairsOnly: return "pairs_only";
+        case GroupingPolicy::kExhaustive: return "exhaustive";
+      }
+      return "greedy_iou";
+    case StageKind::kTransport:
+      return "mac";
+  }
+  throw std::invalid_argument("unknown stage kind");
+}
+
+std::vector<std::unique_ptr<Stage>> build_pipeline(const SessionConfig& c) {
+  const PolicyRegistry& registry = PolicyRegistry::instance();
+  std::vector<std::unique_ptr<Stage>> pipeline;
+  pipeline.reserve(kPipelineOrder.size());
+  for (StageKind kind : kPipelineOrder) {
+    std::string name = default_policy(kind, c);
+    const auto it = c.policy_overrides.find(std::string(to_string(kind)));
+    if (it != c.policy_overrides.end()) name = it->second;
+    pipeline.push_back(registry.create(kind, name, c));
+  }
+  return pipeline;
+}
+
+}  // namespace volcast::core

@@ -1,0 +1,160 @@
+#include "core/stages/session_state.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace volcast::core {
+
+double visible_bits(const view::VisibilityMap& map, const vv::VideoStore& store,
+                    std::size_t frame, std::size_t tier) {
+  double bits = 0.0;
+  for (vv::CellId c = 0; c < map.cell_count(); ++c) {
+    const double lod = map.lod(c);
+    if (lod > 0.0)
+      bits += byte_bits(static_cast<double>(store.cell_bytes(frame, tier, c))) *
+              lod;
+  }
+  return bits;
+}
+
+MultiApConfig SessionState::multi_ap_config(const SessionConfig& c) {
+  MultiApConfig mc;
+  mc.ap_count = std::max<std::size_t>(c.ap_count, 1);
+  return mc;
+}
+
+vv::VideoConfig SessionState::video_config(const SessionConfig& c) {
+  vv::VideoConfig vc;
+  vc.points_per_frame = c.master_points;
+  vc.frame_count = c.video_frames;
+  vc.fps = c.fps;
+  vc.seed = c.seed ^ 0xc0ffee;
+  return vc;
+}
+
+vv::VideoStoreConfig SessionState::store_config(const SessionConfig& c,
+                                                common::ThreadPool* pool) {
+  vv::VideoStoreConfig sc;
+  // Scale the paper's 330K/430K/550K tier ladder to the configured
+  // master point budget.
+  const double scale = static_cast<double>(c.master_points) / 550'000.0;
+  sc.tiers = {{"low", static_cast<std::size_t>(330'000 * scale)},
+              {"med", static_cast<std::size_t>(430'000 * scale)},
+              {"high", c.master_points}};
+  sc.sample_frames = 1;
+  sc.pool = pool;
+  return sc;
+}
+
+view::JointPredictorConfig SessionState::joint_config(
+    const SessionConfig& c, const Testbed& tb, common::ThreadPool* pool) {
+  view::JointPredictorConfig jc;
+  jc.user_occlusion = c.enable_user_occlusion;
+  jc.visibility.intrinsics = view::device_intrinsics(c.device);
+  // The joint predictor works in content-local coordinates; express the
+  // (primary) AP there.
+  jc.ap_position = tb.config().ap_position - tb.config().content_floor;
+  jc.pool = pool;
+  jc.metrics = c.telemetry != nullptr ? &c.telemetry->metrics() : nullptr;
+  return jc;
+}
+
+const BeamDesigner& SessionState::designers_placeholder() {
+  static const TestbedConfig config{};
+  static const Testbed testbed(config);
+  static const BeamDesigner designer(testbed);
+  return designer;
+}
+
+SessionState::SessionState(SessionConfig c)
+    : config(c),
+      coordinator(c.testbed, multi_ap_config(c)),
+      generator(video_config(c)),
+      grid(generator.content_bounds(), c.cell_size_m),
+      pool(c.worker_threads),
+      store(generator, grid, store_config(c, &pool)),
+      joint(c.user_count, joint_config(c, coordinator.ap(0), &pool)),
+      mitigator(coordinator.ap(0),
+                designers_placeholder(),  // replaced below
+                MitigatorConfig{}),
+      injector(c.fault_plan, c.user_count,
+               std::max<std::size_t>(c.ap_count, 1), c.seed ^ 0xfa17ULL),
+      health(c.user_count, fault::HealthMonitor(c.health)),
+      has_faults(!c.fault_plan.empty()) {
+  tel = config.telemetry;
+  if (tel != nullptr)
+    rss_evals = &tel->metrics().counter("mmwave.rss_evals");
+  BeamDesignerConfig bd;
+  bd.enable_custom_beams = c.enable_custom_beams;
+  bd.metrics = tel != nullptr ? &tel->metrics() : nullptr;
+  for (std::size_t a = 0; a < coordinator.ap_count(); ++a)
+    designers.emplace_back(coordinator.ap(a), bd);
+  mitigator = BlockageMitigator(coordinator.ap(0), designers.front(),
+                                MitigatorConfig{});
+
+  occupancy.reserve(c.video_frames);
+  const std::size_t top = store.tier_count() - 1;
+  for (std::size_t f = 0; f < c.video_frames; ++f) {
+    std::vector<std::uint32_t> occ(grid.cell_count());
+    for (vv::CellId cell = 0; cell < grid.cell_count(); ++cell)
+      occ[cell] = store.cell_points(f, top, cell);
+    occupancy.push_back(std::move(occ));
+  }
+
+  Rng seeder(c.seed);
+  const geo::Vec3 center = generator.content_center();
+  for (std::size_t u = 0; u < c.user_count; ++u) {
+    const double frac =
+        c.user_count > 1
+            ? static_cast<double>(u) / static_cast<double>(c.user_count - 1)
+            : 0.5;
+    // Audience arc centered on the far side of the content from the
+    // first AP, matching the user study.
+    const double home = 1.5707963267948966 +
+                        (frac - 0.5) * c.audience_spread_rad +
+                        seeder.uniform(-0.1, 0.1);
+    Rng param_rng = seeder.fork();
+    const auto params =
+        trace::MobilityParams::for_device(c.device, param_rng, center, home);
+    User user{trace::MobilityModel(params, seeder.next_u64()),
+              mmwave::ShadowingProcess(c.testbed.shadowing_sigma_db,
+                                       c.testbed.shadowing_coherence_s,
+                                       seeder.next_u64()),
+              sim::Player(c.fps),
+              BandwidthPredictor(c.estimator),
+              std::min(c.start_tier, store.tier_count() - 1)};
+    users.push_back(std::move(user));
+  }
+  if (tel != nullptr)
+    for (User& user : users) user.player.bind_metrics(&tel->metrics());
+}
+
+void SessionState::begin_run() {
+  const std::size_t n = config.user_count;
+  dt = 1.0 / config.fps;
+  horizon_ticks = static_cast<std::size_t>(
+      std::llround(config.prediction_horizon_s * config.fps));
+  mcs = &coordinator.ap(0).mcs();
+  backlog.assign(coordinator.ap_count(), 0.0);
+  assignment.assign(n, 0);
+  concurrent_beams.assign(coordinator.ap_count(), {});
+  lane_events.assign(tel != nullptr ? n : 0, {});
+  prev_tier.assign(tel != nullptr ? n : 0, 0);
+  ap_up.fill(true);
+  prev_active.assign(coordinator.ap_count(), {});
+  fault_fallback.assign(n, 0);
+
+  if (tel != nullptr) {
+    obs::SessionMeta meta;
+    meta.users = static_cast<std::uint32_t>(n);
+    meta.aps = static_cast<std::uint32_t>(coordinator.ap_count());
+    meta.fps = config.fps;
+    meta.duration_s = config.duration_s;
+    meta.seed = config.seed;
+    tel->begin_session(meta);
+  }
+}
+
+}  // namespace volcast::core

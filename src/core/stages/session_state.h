@@ -1,0 +1,159 @@
+// Session-lifetime state shared by the pipeline stages.
+//
+// The staged pipeline splits the per-tick work into narrow Stage objects
+// (see stage.h); everything that outlives a tick lives here: the
+// construction-time components (video store, joint predictor, beam
+// designers, multi-AP coordinator), per-user streaming state, the result
+// counters, and the run-scoped scratch vectors (air-queue backlogs, AP
+// assignment, last tick's beams). TickContext (tick_context.h) carries the
+// per-tick products between stages.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "core/beam_designer.h"
+#include "core/blockage_mitigator.h"
+#include "core/multi_ap.h"
+#include "core/session.h"
+#include "fault/injector.h"
+#include "mmwave/mcs.h"
+#include "obs/telemetry.h"
+#include "pointcloud/video_store.h"
+#include "sim/event_queue.h"
+#include "sim/player.h"
+#include "viewport/joint_predictor.h"
+
+namespace volcast::core {
+
+struct SessionState {
+  SessionConfig config;
+  MultiApCoordinator coordinator;
+  vv::VideoGenerator generator;
+  vv::CellGrid grid;
+  // Declared before the store and the joint predictor: both hold a pointer
+  // to it and use it during their own construction.
+  common::ThreadPool pool;
+  vv::VideoStore store;
+  view::JointViewportPredictor joint;
+  std::vector<BeamDesigner> designers;  // one per AP
+  BlockageMitigator mitigator;
+
+  // Per-video-frame occupancy at the top tier (drives visibility).
+  std::vector<std::vector<std::uint32_t>> occupancy;
+
+  // Per-user state.
+  struct User {
+    trace::MobilityModel mobility;
+    mmwave::ShadowingProcess shadowing;
+    sim::Player player;
+    BandwidthPredictor predictor;
+    std::size_t tier;
+    std::size_t prefetch_credit = 0;
+    std::size_t frames_ahead = 0;
+    int reflection_ticks = 0;
+    mmwave::Awv reflection_awv;
+    double delivered_bits = 0.0;
+    bool blockage_forecast = false;
+    // Reactive (SLS) beam tracking state.
+    mmwave::Awv serving_awv;
+    int sls_remaining_ticks = 0;
+    // Viewport prediction quality accounting.
+    double miss_sum = 0.0;
+    std::size_t miss_count = 0;
+    // The decoder is a serial resource: completion time of the last frame.
+    double decode_free_at = 0.0;
+    // Motion-to-photon accounting (pose -> playable).
+    RunningStats m2p;
+    // Fault-recovery state: exponential backoff after failed beam probes,
+    // and the frozen position of a stuck sector.
+    int probe_backoff_ticks = 0;
+    int probe_backoff_next = 1;
+    bool was_stuck = false;
+    geo::Vec3 stuck_pos{};
+  };
+  std::vector<User> users;
+
+  // Fault injection (all inert when the plan is empty).
+  fault::FaultInjector injector;
+  std::vector<fault::HealthMonitor> health;
+  bool has_faults = false;
+  fault::FaultReport freport;
+  // Per-AP membership signature of the last tick, for counting multicast
+  // group reformations under churn / AP faults.
+  std::vector<std::vector<std::size_t>> prev_active;
+
+  // Counters for SessionResult.
+  double multicast_bits = 0.0;
+  double unicast_bits = 0.0;
+  double group_size_sum = 0.0;
+  std::size_t group_count = 0;
+  std::size_t custom_beam_uses = 0;
+  std::size_t stock_beam_uses = 0;
+  std::size_t blockage_forecasts = 0;
+  std::size_t reflection_switches = 0;
+  std::size_t dropped_ticks = 0;
+  std::size_t outage_user_ticks = 0;
+  std::size_t sls_sweeps = 0;
+  std::size_t sls_outage_ticks = 0;
+  double scheduled_airtime = 0.0;
+
+  // Telemetry (null = disabled; every hook is one pointer test).
+  obs::Telemetry* tel = nullptr;
+  obs::Counter* rss_evals = nullptr;
+
+  // Run-scoped state, initialized by begin_run() before the first tick.
+  double dt = 0.0;
+  std::size_t horizon_ticks = 0;
+  const mmwave::McsTable* mcs = nullptr;
+  sim::EventQueue queue;
+  std::vector<double> backlog;                // per AP: air-queue depth (s)
+  std::vector<std::size_t> assignment;        // user -> serving AP
+  // Beams each AP transmitted with last tick: the interference the other
+  // APs' users see this tick (beams persist across a frame interval).
+  std::vector<mmwave::Awv> concurrent_beams;
+  // Per-user event slots for the parallel link lanes, merged serially in
+  // user order after each fan-out (same discipline as the counter tallies).
+  std::vector<obs::EventBuffer> lane_events;
+  std::vector<std::size_t> prev_tier;
+  std::array<bool, 4> ap_up{};
+  std::vector<char> fault_fallback;
+
+  explicit SessionState(SessionConfig c);
+
+  /// Resets the run-scoped vectors; called once at the top of run().
+  void begin_run();
+
+  [[nodiscard]] std::size_t user_count() const noexcept {
+    return config.user_count;
+  }
+
+  /// Is this user churned out of the room this tick?
+  [[nodiscard]] bool absent(std::size_t u) const {
+    return has_faults && injector.user_absent(u);
+  }
+
+ private:
+  // The mitigator needs a designer reference at construction; a static
+  // placeholder satisfies the constructor before the real one is assigned.
+  static const BeamDesigner& designers_placeholder();
+
+  static MultiApConfig multi_ap_config(const SessionConfig& c);
+  static vv::VideoConfig video_config(const SessionConfig& c);
+  static vv::VideoStoreConfig store_config(const SessionConfig& c,
+                                           common::ThreadPool* pool);
+  static view::JointPredictorConfig joint_config(const SessionConfig& c,
+                                                 const Testbed& tb,
+                                                 common::ThreadPool* pool);
+};
+
+/// Bits a user needs for `frame` at `tier` given its visibility map.
+/// Shared by the adaptation, grouping and transport stages.
+[[nodiscard]] double visible_bits(const view::VisibilityMap& map,
+                                  const vv::VideoStore& store,
+                                  std::size_t frame, std::size_t tier);
+
+}  // namespace volcast::core

@@ -1,0 +1,53 @@
+// The narrow interface every pipeline stage implements.
+//
+// A Stage owns one slice of the per-tick work (see tick_context.h for the
+// dataflow). Stages are constructed once per session by the policy
+// registry (registry.h) — the ablation switches in SessionConfig select
+// *which* implementation fills each slot, and `--policy kind=name`
+// overrides that selection by name without touching session code.
+#pragma once
+
+#include <string_view>
+
+namespace volcast::core {
+
+struct SessionState;
+struct TickContext;
+
+/// The six pipeline slots, in execution order.
+enum class StageKind : std::uint8_t {
+  kPrediction,  // pose observation + joint viewport prediction
+  kBeam,        // AP assignment + per-user beam tracking / link state
+  kAdaptation,  // per-user quality-tier decisions
+  kMitigation,  // proactive blockage mitigation
+  kGrouping,    // per-AP multicast group formation + group beam design
+  kTransport,   // MAC scheduling, delivery, prefetch, miss accounting
+};
+inline constexpr std::size_t kStageKindCount = 6;
+
+[[nodiscard]] constexpr std::string_view to_string(StageKind kind) noexcept {
+  switch (kind) {
+    case StageKind::kPrediction: return "prediction";
+    case StageKind::kBeam: return "beam";
+    case StageKind::kAdaptation: return "adaptation";
+    case StageKind::kMitigation: return "mitigation";
+    case StageKind::kGrouping: return "grouping";
+    case StageKind::kTransport: return "transport";
+  }
+  return "?";
+}
+
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Which pipeline slot this stage fills.
+  [[nodiscard]] virtual StageKind kind() const noexcept = 0;
+  /// The registered policy name ("greedy_iou", "reactive", ...).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Advances this stage's slice of the tick.
+  virtual void run(SessionState& state, TickContext& ctx) = 0;
+};
+
+}  // namespace volcast::core

@@ -1,0 +1,242 @@
+#include "core/stages/transport_stage.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "core/stages/session_state.h"
+#include "core/stages/tick_context.h"
+#include "mmwave/link.h"
+
+namespace volcast::core {
+
+void TransportStage::run(SessionState& state, TickContext& ctx) {
+  const SessionConfig& config = state.config;
+  const std::size_t n = state.user_count();
+  const std::size_t frame = ctx.frame;
+  const std::size_t tick = ctx.tick;
+  const std::uint32_t tick32 = ctx.tick32;
+  const double t = ctx.t;
+  const double dt = state.dt;
+  obs::Telemetry* tel = state.tel;
+  auto& users = state.users;
+  const auto absent = [&](std::size_t u) { return state.absent(u); };
+
+  ctx.app_sample_mbps.assign(n, 0.0);
+  auto& app_sample_mbps = ctx.app_sample_mbps;
+  for (std::size_t a = 0; a < state.coordinator.ap_count(); ++a) {
+    if (!ctx.ap_plans[a].active) continue;
+    const auto ap32 = static_cast<std::uint32_t>(a);
+    const std::vector<std::size_t>& members = ctx.ap_plans[a].members;
+    const GroupingResult& grouping = ctx.ap_plans[a].grouping;
+
+    obs::Span schedule_span = ctx.span(obs::Stage::kSchedule, ap32);
+    if (tel != nullptr)
+      mac::observe_schedule(grouping.schedule, config.mac_overheads,
+                            tel->metrics());
+    const double airtime = grouping.schedule.airtime_s(config.mac_overheads);
+    state.scheduled_airtime += airtime;
+    state.backlog[a] = std::max(0.0, state.backlog[a] - dt) + airtime;
+    const double delivery_time = t + state.backlog[a];
+
+    for (const mac::GroupPlan& plan : grouping.schedule.groups) {
+      schedule_span.add_cost(plan.members.size());
+      state.group_size_sum += static_cast<double>(plan.members.size());
+      ++state.group_count;
+      const bool is_multicast = plan.members.size() > 1 &&
+                                plan.multicast_rate_mbps > 0.0 &&
+                                plan.group_overlap_bits > 0.0;
+      for (const mac::UserDemand& demand : plan.members) {
+        const std::size_t u = demand.user;
+        const double bits = demand.total_bits;
+        // Application-layer throughput sample: bits over the transfer
+        // time this user's frame actually took — multicast sharing shows
+        // up here as a higher effective rate.
+        double transfer_s = 0.0;
+        if (is_multicast) {
+          transfer_s =
+              tx_time_s(plan.group_overlap_bits, plan.multicast_rate_mbps);
+          const double residual =
+              std::max(bits - plan.group_overlap_bits, 0.0);
+          if (demand.unicast_rate_mbps > 0.0)
+            transfer_s += tx_time_s(residual, demand.unicast_rate_mbps);
+        } else if (demand.unicast_rate_mbps > 0.0) {
+          transfer_s = tx_time_s(bits, demand.unicast_rate_mbps);
+        }
+        if (transfer_s > 0.0)
+          app_sample_mbps[u] = bits_to_megabits(bits / transfer_s);
+        if (is_multicast) {
+          state.multicast_bits += plan.group_overlap_bits;
+          state.unicast_bits += std::max(bits - plan.group_overlap_bits, 0.0);
+        } else {
+          state.unicast_bits += bits;
+        }
+        users[u].delivered_bits += bits;
+        const std::size_t tier = users[u].tier;
+        // The frame is playable only after the client decodes it.
+        double visible_points = 0.0;
+        for (vv::CellId cell = 0; cell < state.grid.cell_count(); ++cell) {
+          const double lod = ctx.prediction.visibility[u].lod(cell);
+          if (lod > 0.0)
+            visible_points += lod * state.store.cell_points(frame, tier, cell);
+        }
+        const double decode_time =
+            config.decode_points_per_second > 0.0
+                ? visible_points / config.decode_points_per_second
+                : 0.0;
+        if (state.has_faults && state.injector.decoder_stalled(u)) {
+          // The decoder is frozen: nothing completes before the stall
+          // lifts (clamped to the session end for permanent stalls).
+          const double resume = std::min(state.injector.decoder_stall_until(u),
+                                         config.duration_s);
+          users[u].decode_free_at = std::max(users[u].decode_free_at, resume);
+        }
+        users[u].decode_free_at =
+            std::max(users[u].decode_free_at, delivery_time) + decode_time;
+        users[u].m2p.add(users[u].decode_free_at - t);
+        if (state.has_faults && state.injector.frame_lost(u, tick)) {
+          // Corrupted on the air interface: the airtime was spent but
+          // nothing playable arrives. Conceal by holding the last
+          // decoded frame (bounded), else the frame is skipped.
+          state.queue.schedule_at(users[u].decode_free_at, [&state, u]() {
+            if (state.users[u].player.conceal()) {
+              ++state.freport.concealed_frames;
+            } else {
+              ++state.freport.skipped_frames;
+            }
+          });
+        } else {
+          state.queue.schedule_at(users[u].decode_free_at,
+                                  [&state, u, frame, tier, bits]() {
+            state.users[u].player.deliver({frame, tier, bits});
+          });
+        }
+      }
+    }
+
+    // Prefetch: fetch one frame ahead per tick of credit, while the air
+    // queue is healthy.
+    for (std::size_t u : members) {
+      if (users[u].prefetch_credit == 0 ||
+          state.backlog[a] > config.max_backlog_s * 0.5)
+        continue;
+      --users[u].prefetch_credit;
+      ++users[u].frames_ahead;
+      if (tel != nullptr) {
+        obs::Event e;
+        e.tick = tick32;
+        e.layer = obs::Layer::kSession;
+        e.type = obs::EventType::kPrefetch;
+        e.user = static_cast<std::uint32_t>(u);
+        e.ap = ap32;
+        tel->record_event(e);
+      }
+      const std::size_t next_frame = (frame + 1) % config.video_frames;
+      const double bits = visible_bits(ctx.prediction.visibility[u],
+                                       state.store, next_frame, users[u].tier);
+      if (ctx.unicast_rate[u] <= 0.0) continue;
+      const double extra_air = tx_time_s(bits, ctx.unicast_rate[u]);
+      state.scheduled_airtime += extra_air;
+      state.backlog[a] += extra_air;
+      state.unicast_bits += bits;
+      users[u].delivered_bits += bits;
+      const double when = t + state.backlog[a];
+      const std::size_t tier = users[u].tier;
+      if (state.has_faults && state.injector.frame_lost(u, tick)) {
+        state.queue.schedule_at(when, [&state, u]() {
+          if (state.users[u].player.conceal()) {
+            ++state.freport.concealed_frames;
+          } else {
+            ++state.freport.skipped_frames;
+          }
+        });
+      } else {
+        state.queue.schedule_at(when, [&state, u, next_frame, tier, bits]() {
+          state.users[u].player.deliver({next_frame, tier, bits});
+        });
+      }
+    }
+
+    schedule_span.end();
+
+    // Viewport-prediction quality: what fraction of the cells each member
+    // actually needs (at its true pose) did the prediction-driven fetch
+    // miss?
+    // Ground-truth visibility per member is another full visibility
+    // computation: fan out into (needed, missed) slots, then fold into
+    // the per-user running sums serially, in member order.
+    std::vector<std::pair<std::size_t, std::size_t>> miss_tally(
+        members.size());
+    state.pool.parallel_for(members.size(), [&](std::size_t i) {
+      const std::size_t u = members[i];
+      std::vector<geo::BodyObstacle> local_bodies;
+      if (config.enable_user_occlusion) {
+        for (std::size_t v = 0; v < n; ++v) {
+          if (v == u) continue;
+          local_bodies.push_back({ctx.local_poses[v].position, 0.25, 1.8});
+        }
+      }
+      const auto actual = view::compute_visibility(
+          state.grid, state.occupancy[frame], ctx.local_poses[u],
+          state.joint.config().visibility, local_bodies);
+      std::size_t needed = 0;
+      std::size_t missed = 0;
+      for (vv::CellId cell = 0; cell < state.grid.cell_count(); ++cell) {
+        if (!actual.visible(cell)) continue;
+        ++needed;
+        if (!ctx.prediction.visibility[u].visible(cell)) ++missed;
+      }
+      miss_tally[i] = {needed, missed};
+    });
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto [needed, missed] = miss_tally[i];
+      if (needed > 0) {
+        users[members[i]].miss_sum +=
+            static_cast<double>(missed) / static_cast<double>(needed);
+        ++users[members[i]].miss_count;
+      }
+    }
+  }
+
+  // ---- app-layer observation + playback ---------------------------------
+  obs::Span player_span = ctx.span(obs::Stage::kPlayer);
+  player_span.add_cost(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (app_sample_mbps[u] > 0.0)
+      users[u].predictor.observe(app_sample_mbps[u], ctx.unicast_rate[u]);
+    if (state.has_faults) {
+      const bool is_absent = absent(u);
+      const bool delivering = !is_absent && state.ap_up[state.assignment[u]] &&
+                              ctx.unicast_rate[u] > 0.0;
+      const bool impaired = state.injector.probe_fail(u) ||
+                            state.injector.sector_stuck(u) ||
+                            state.injector.decoder_stalled(u) ||
+                            state.injector.frame_loss_probability(u) > 0.0;
+      const fault::HealthState s = state.health[u].observe(
+          t, delivering, ctx.unicast_rate[u], impaired);
+      if (s == fault::HealthState::kDegraded)
+        ++state.freport.degraded_user_ticks;
+      if (s == fault::HealthState::kOutage)
+        ++state.freport.unhealthy_user_ticks;
+      if (!is_absent) {
+        // Playback continues only while the user is in the room; stalls
+        // during an active fault are attributed to it.
+        const double stall_before = users[u].player.stall_time_s();
+        users[u].player.advance(dt);
+        if (state.injector.any_active())
+          state.freport.fault_rebuffer_s +=
+              users[u].player.stall_time_s() - stall_before;
+      }
+    } else {
+      users[u].player.advance(dt);
+    }
+    if (config.tick_observer) {
+      config.tick_observer({t, u, users[u].player.buffer_s(), users[u].tier,
+                            ctx.unicast_rss[u], ctx.unicast_rate[u],
+                            users[u].blockage_forecast});
+    }
+  }
+}
+
+}  // namespace volcast::core

@@ -1,0 +1,22 @@
+// Pipeline stage 6: MAC scheduling and delivery. Turns each AP's group
+// plan into airtime, queues frame deliveries through the decode model,
+// spends prefetch credit, accounts viewport-prediction misses against
+// ground truth, then advances every client player.
+#pragma once
+
+#include "core/stages/stage.h"
+
+namespace volcast::core {
+
+class TransportStage final : public Stage {
+ public:
+  [[nodiscard]] StageKind kind() const noexcept override {
+    return StageKind::kTransport;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "mac";
+  }
+  void run(SessionState& state, TickContext& ctx) override;
+};
+
+}  // namespace volcast::core

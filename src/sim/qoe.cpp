@@ -1,4 +1,4 @@
-#include "sim/metrics.h"
+#include "sim/qoe.h"
 
 #include <algorithm>
 #include <limits>

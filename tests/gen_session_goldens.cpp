@@ -1,0 +1,22 @@
+// Regenerates the refactor-equivalence golden file (see session_golden.h):
+//
+//   build/tests/gen_session_goldens > tests/golden/session_results.golden
+//
+// Run this ONLY when session behavior changes intentionally; the point of
+// the committed file is to pin the current behavior across refactors.
+#include <cstdio>
+#include <string>
+
+#include "session_golden.h"
+
+int main() {
+  using namespace volcast::core;
+  for (const GoldenCase& c : golden_matrix()) {
+    SessionConfig config = c.config;
+    config.worker_threads = 1;
+    Session session(config);
+    const std::string block = serialize_result(c.name, session.run());
+    std::fputs(block.c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Fleet runner: slot-indexed seeding, bit-identical results at any outer
+// or inner parallelism, and aggregate folding in slot order.
+#include "core/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/telemetry.h"
+#include "session_compare.h"
+
+namespace volcast::core {
+namespace {
+
+FleetConfig fast_fleet(std::size_t sessions) {
+  FleetConfig fc;
+  fc.session.user_count = 2;
+  fc.session.duration_s = 1.0;
+  fc.session.master_points = 30'000;
+  fc.session.video_frames = 20;
+  fc.session.worker_threads = 1;
+  fc.sessions = sessions;
+  fc.parallel_sessions = 1;
+  return fc;
+}
+
+TEST(FleetConfigValidate, RejectsBadConfigs) {
+  EXPECT_THROW(run_fleet(fast_fleet(0)), std::invalid_argument);
+
+  FleetConfig bad_threshold = fast_fleet(1);
+  bad_threshold.supported_fps_threshold = -1.0;
+  EXPECT_THROW(bad_threshold.validate(), std::invalid_argument);
+
+  // Per-session sinks cannot be fanned out across concurrent sessions.
+  FleetConfig with_tel = fast_fleet(1);
+  obs::Telemetry tel;
+  with_tel.session.telemetry = &tel;
+  EXPECT_THROW(with_tel.validate(), std::invalid_argument);
+
+  FleetConfig with_observer = fast_fleet(1);
+  with_observer.session.tick_observer = [](const TickSample&) {};
+  EXPECT_THROW(with_observer.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(fast_fleet(1).validate());
+}
+
+TEST(Fleet, SingleSlotMatchesStandaloneSession) {
+  const FleetConfig fc = fast_fleet(1);
+  const FleetResult fleet = run_fleet(fc);
+  ASSERT_EQ(fleet.sessions.size(), 1u);
+  expect_identical(fleet.sessions[0], Session(fc.session).run());
+}
+
+TEST(Fleet, SlotSeedIsTemplateSeedPlusIndex) {
+  const FleetConfig fc = fast_fleet(2);
+  const FleetResult fleet = run_fleet(fc);
+  ASSERT_EQ(fleet.sessions.size(), 2u);
+
+  SessionConfig slot1 = fc.session;
+  slot1.seed += 1;
+  expect_identical(fleet.sessions[1], Session(slot1).run());
+  // Different seeds, different outcomes — the slots are not clones.
+  EXPECT_NE(fleet.sessions[0].qoe.aggregate_goodput_mbps(),
+            fleet.sessions[1].qoe.aggregate_goodput_mbps());
+}
+
+void expect_fleet_identical(const FleetResult& x, const FleetResult& y) {
+  ASSERT_EQ(x.sessions.size(), y.sessions.size());
+  for (std::size_t k = 0; k < x.sessions.size(); ++k)
+    expect_identical(x.sessions[k], y.sessions[k]);
+  EXPECT_EQ(x.total_users, y.total_users);
+  EXPECT_EQ(x.supported_users, y.supported_users);
+  EXPECT_BITEQ(x.mean_displayed_fps, y.mean_displayed_fps);
+  EXPECT_BITEQ(x.mean_stall_ratio, y.mean_stall_ratio);
+  EXPECT_BITEQ(x.mean_quality_tier, y.mean_quality_tier);
+  EXPECT_BITEQ(x.p5_displayed_fps, y.p5_displayed_fps);
+  EXPECT_BITEQ(x.p50_displayed_fps, y.p50_displayed_fps);
+  EXPECT_BITEQ(x.p95_displayed_fps, y.p95_displayed_fps);
+  EXPECT_BITEQ(x.p95_stall_time_s, y.p95_stall_time_s);
+}
+
+TEST(Fleet, BitIdenticalAcrossOuterParallelism) {
+  FleetConfig fc = fast_fleet(3);
+  fc.parallel_sessions = 1;  // fully serial reference
+  const FleetResult serial = run_fleet(fc);
+  fc.parallel_sessions = 2;
+  expect_fleet_identical(serial, run_fleet(fc));
+  fc.parallel_sessions = 0;  // hardware concurrency
+  expect_fleet_identical(serial, run_fleet(fc));
+}
+
+TEST(Fleet, BitIdenticalAcrossInnerWorkerThreads) {
+  FleetConfig fc = fast_fleet(2);
+  fc.session.worker_threads = 1;
+  const FleetResult one_lane = run_fleet(fc);
+  fc.session.worker_threads = 4;
+  fc.parallel_sessions = 2;  // nested: outer fleet pool + inner tick pools
+  expect_fleet_identical(one_lane, run_fleet(fc));
+}
+
+TEST(Fleet, AggregatesFoldAllUsers) {
+  const FleetResult fleet = run_fleet(fast_fleet(3));
+  EXPECT_EQ(fleet.total_users, 6u);
+  EXPECT_LE(fleet.supported_users, fleet.total_users);
+  EXPECT_GT(fleet.mean_displayed_fps, 0.0);
+  EXPECT_LE(fleet.p5_displayed_fps, fleet.p50_displayed_fps);
+  EXPECT_LE(fleet.p50_displayed_fps, fleet.p95_displayed_fps);
+  EXPECT_GE(fleet.mean_stall_ratio, 0.0);
+  EXPECT_GE(fleet.mean_quality_tier, 0.0);
+}
+
+}  // namespace
+}  // namespace volcast::core

@@ -1,4 +1,4 @@
-#include "sim/metrics.h"
+#include "sim/qoe.h"
 
 #include <gtest/gtest.h>
 

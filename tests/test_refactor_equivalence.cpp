@@ -1,0 +1,75 @@
+// Refactor-equivalence suite: the staged pipeline must reproduce the
+// pre-refactor monolithic session loop bit for bit. The golden file was
+// generated from the monolith (tests/gen_session_goldens.cpp) across the
+// ablation × fault matrix; every case is checked at two thread counts, so
+// the suite simultaneously pins the worker_threads invariance.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "session_golden.h"
+
+#ifndef VOLCAST_GOLDEN_DIR
+#error "VOLCAST_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace volcast::core {
+namespace {
+
+/// name -> serialized block, split on the "case." line prefixes.
+std::map<std::string, std::string> load_goldens() {
+  const std::string path =
+      std::string(VOLCAST_GOLDEN_DIR) + "/session_results.golden";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing golden file: " << path;
+  std::map<std::string, std::string> blocks;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto dot = line.find('.');
+    if (dot == std::string::npos) continue;
+    blocks[line.substr(0, dot)] += line + '\n';
+  }
+  return blocks;
+}
+
+class RefactorEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RefactorEquivalence, MatchesPreRefactorGoldens) {
+  const std::size_t threads = GetParam();
+  const auto goldens = load_goldens();
+  ASSERT_FALSE(goldens.empty());
+  for (const GoldenCase& c : golden_matrix()) {
+    const auto it = goldens.find(c.name);
+    ASSERT_NE(it, goldens.end()) << "no golden block for case " << c.name;
+    SessionConfig config = c.config;
+    config.worker_threads = threads;
+    Session session(config);
+    const std::string got = serialize_result(c.name, session.run());
+    // Line-by-line so a mismatch names the exact field.
+    std::istringstream want_in(it->second);
+    std::istringstream got_in(got);
+    std::string want_line;
+    std::string got_line;
+    while (std::getline(want_in, want_line)) {
+      ASSERT_TRUE(std::getline(got_in, got_line))
+          << c.name << ": serialized result ended early, expected "
+          << want_line;
+      EXPECT_EQ(got_line, want_line) << "case " << c.name;
+    }
+    EXPECT_FALSE(std::getline(got_in, got_line))
+        << c.name << ": extra serialized field " << got_line;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RefactorEquivalence,
+                         ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "threads" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace volcast::core

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "trace/user_study.h"
 
 namespace volcast::core {
@@ -30,6 +32,16 @@ TEST(Session, RunsAndDeliversFrames) {
     EXPECT_LT(u.viewport_miss_ratio, 0.5)
         << "prediction-driven fetch missing too much of the viewport";
   }
+}
+
+TEST(Session, SecondRunThrows) {
+  // Single-shot semantics: the tick queue and per-run state are consumed
+  // by run(); a silent second run would return garbage, so it must throw.
+  Session session(fast_config());
+  (void)session.run();
+  EXPECT_THROW((void)session.run(), std::logic_error);
+  // The config stays readable after the run.
+  EXPECT_EQ(session.config().user_count, 3u);
 }
 
 TEST(Session, DeterministicForSeed) {

@@ -1,0 +1,139 @@
+// Policy registry and pipeline assembly: the named-policy seam must map
+// exactly onto the ablation switches it replaced, reject unknown names
+// loudly, and accept runtime-registered policies.
+#include "core/stages/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/session.h"
+#include "core/stages/grouping_stage.h"
+#include "session_compare.h"
+
+namespace volcast::core {
+namespace {
+
+SessionConfig fast_config() {
+  SessionConfig c;
+  c.user_count = 3;
+  c.duration_s = 1.0;
+  c.master_points = 30'000;
+  c.video_frames = 20;
+  return c;
+}
+
+TEST(StageKindNames, RoundTrip) {
+  for (std::size_t i = 0; i < kStageKindCount; ++i) {
+    const auto kind = static_cast<StageKind>(i);
+    const auto parsed = parse_stage_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_stage_kind("").has_value());
+  EXPECT_FALSE(parse_stage_kind("Grouping").has_value());
+  EXPECT_FALSE(parse_stage_kind("codec").has_value());
+}
+
+TEST(PolicyRegistry, DefaultsMirrorAblationSwitches) {
+  SessionConfig c;  // paper defaults: everything on
+  EXPECT_EQ(default_policy(StageKind::kPrediction, c), "joint");
+  EXPECT_EQ(default_policy(StageKind::kBeam, c), "predictive");
+  EXPECT_EQ(default_policy(StageKind::kAdaptation, c), "cross_layer");
+  EXPECT_EQ(default_policy(StageKind::kMitigation, c), "proactive");
+  EXPECT_EQ(default_policy(StageKind::kGrouping, c), "greedy_iou");
+  EXPECT_EQ(default_policy(StageKind::kTransport, c), "mac");
+
+  c.predictive_beam_tracking = false;
+  EXPECT_EQ(default_policy(StageKind::kBeam, c), "reactive");
+  c.enable_blockage_mitigation = false;
+  EXPECT_EQ(default_policy(StageKind::kMitigation, c), "off");
+  c.adaptation = AdaptationPolicy::kBufferOnly;
+  EXPECT_EQ(default_policy(StageKind::kAdaptation, c), "buffer");
+  c.grouping = GroupingPolicy::kPairsOnly;
+  EXPECT_EQ(default_policy(StageKind::kGrouping, c), "pairs_only");
+  // The multicast master switch overrides whatever grouping asks for.
+  c.enable_multicast = false;
+  EXPECT_EQ(default_policy(StageKind::kGrouping, c), "unicast_only");
+}
+
+TEST(PolicyRegistry, PipelineOrderIsFixed) {
+  const auto pipeline = build_pipeline(SessionConfig{});
+  constexpr StageKind kExpected[] = {
+      StageKind::kPrediction, StageKind::kBeam,     StageKind::kAdaptation,
+      StageKind::kMitigation, StageKind::kGrouping, StageKind::kTransport};
+  ASSERT_EQ(pipeline.size(), std::size(kExpected));
+  for (std::size_t i = 0; i < pipeline.size(); ++i)
+    EXPECT_EQ(pipeline[i]->kind(), kExpected[i]);
+}
+
+TEST(PolicyRegistry, OverrideReplacesOneSlot) {
+  SessionConfig c;
+  c.policy_overrides["grouping"] = "pairs_only";
+  const auto pipeline = build_pipeline(c);
+  ASSERT_EQ(pipeline.size(), kStageKindCount);
+  EXPECT_EQ(pipeline[4]->kind(), StageKind::kGrouping);
+  EXPECT_EQ(pipeline[4]->name(), "pairs_only");
+  EXPECT_EQ(pipeline[1]->name(), "predictive");  // untouched slots keep defaults
+}
+
+TEST(PolicyRegistry, UnknownNameThrowsWithAlternatives) {
+  try {
+    (void)PolicyRegistry::instance().create(StageKind::kGrouping, "bogus",
+                                            SessionConfig{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("grouping"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("greedy_iou"), std::string::npos)
+        << "error should list the registered names: " << what;
+  }
+}
+
+TEST(PolicyRegistry, ValidateRejectsUnknownSlotAndName) {
+  SessionConfig c = fast_config();
+  c.policy_overrides["codec"] = "octree";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.policy_overrides.clear();
+  c.policy_overrides["beam"] = "psychic";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.policy_overrides.clear();
+  c.policy_overrides["beam"] = "reactive";
+  EXPECT_NO_THROW(c.validate());
+}
+
+// The contract that makes --policy trustworthy: selecting a policy by name
+// is bit-identical to flipping the ablation switch it replaced.
+TEST(PolicyRegistry, NamedOverrideMatchesAblationSwitch) {
+  SessionConfig by_switch = fast_config();
+  by_switch.grouping = GroupingPolicy::kPairsOnly;
+  by_switch.predictive_beam_tracking = false;
+
+  SessionConfig by_name = fast_config();
+  by_name.policy_overrides["grouping"] = "pairs_only";
+  by_name.policy_overrides["beam"] = "reactive";
+
+  expect_identical(Session(by_switch).run(), Session(by_name).run());
+}
+
+TEST(PolicyRegistry, RuntimeRegisteredPolicyIsSelectable) {
+  PolicyRegistry::instance().add(
+      StageKind::kGrouping, "test_exhaustive",
+      [](const SessionConfig&) -> std::unique_ptr<Stage> {
+        return std::make_unique<GroupingStage>(GroupingPolicy::kExhaustive);
+      });
+  SessionConfig custom = fast_config();
+  custom.policy_overrides["grouping"] = "test_exhaustive";
+  EXPECT_NO_THROW(custom.validate());
+
+  SessionConfig builtin = fast_config();
+  builtin.grouping = GroupingPolicy::kExhaustive;
+  expect_identical(Session(builtin).run(), Session(custom).run());
+}
+
+}  // namespace
+}  // namespace volcast::core

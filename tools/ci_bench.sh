@@ -17,7 +17,7 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_micro bench_system_scaling
+  --target bench_micro bench_system_scaling bench_fleet
 
 # Repetitions + median: single-shot times on a shared box swing well past
 # any useful tolerance; the median of 3 is stable enough to gate on.
@@ -25,6 +25,21 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_micro.json --benchmark_out_format=json
 "$BUILD_DIR"/bench/bench_system_scaling --json BENCH_scaling.json
+"$BUILD_DIR"/bench/bench_fleet --json BENCH_fleet.tmp.json
+
+# Fold the fleet sweep into BENCH_scaling.json as its "fleet" key, so one
+# committed file carries the whole scaling trajectory.
+python3 - <<'EOF'
+import json
+with open("BENCH_scaling.json") as f:
+    doc = json.load(f)
+with open("BENCH_fleet.tmp.json") as f:
+    doc["fleet"] = json.load(f)
+with open("BENCH_scaling.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+rm -f BENCH_fleet.tmp.json
 
 if [[ "${VOLCAST_BENCH_NO_CHECK:-0}" == "1" ]]; then
   echo "ci_bench: baseline check skipped (VOLCAST_BENCH_NO_CHECK=1)"
@@ -89,6 +104,19 @@ else:
                 if ratio > 1 + tol:
                     fails.append(
                         f"scaling users={e['users']} {key}: "
+                        f"{ratio:.2f}x baseline")
+    fleet_ref = {e["sessions"]: e
+                 for e in base.get("fleet", {}).get("scaling", [])}
+    for e in cur.get("fleet", {}).get("scaling", []):
+        old = fleet_ref.get(e["sessions"])
+        if not old:
+            continue
+        for key in ("serial_s", "parallel_s"):
+            if old.get(key, 0) >= 0.25:
+                ratio = e[key] / old[key]
+                if ratio > 1 + tol:
+                    fails.append(
+                        f"fleet sessions={e['sessions']} {key}: "
                         f"{ratio:.2f}x baseline")
 
 if fails:

@@ -8,6 +8,8 @@
 //   volcast_sim --users=5 --no-multicast --reactive-beams
 //   volcast_sim --users=4 --replay=traces.dir   (one VCTRACE file per user)
 //   volcast_sim --users=6 --aps=2 --chaos --chaos-intensity=1.0
+//   volcast_sim --users=4 --policy=grouping=pairs_only,beam=reactive
+//   volcast_sim --users=4 --fleet=8             (8 seeded rooms, aggregated)
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -16,6 +18,7 @@
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "core/fleet.h"
 #include "core/session.h"
 #include "fault/fault_plan.h"
 #include "obs/telemetry.h"
@@ -31,6 +34,67 @@ int fail(const std::string& message) {
   return 1;
 }
 
+const FlagChoices<trace::DeviceType> kDeviceChoices{
+    {"hm", trace::DeviceType::kHeadset},
+    {"ph", trace::DeviceType::kSmartphone}};
+const FlagChoices<AdaptationPolicy> kAdaptationChoices{
+    {"none", AdaptationPolicy::kNone},
+    {"buffer", AdaptationPolicy::kBufferOnly},
+    {"cross", AdaptationPolicy::kCrossLayer}};
+const FlagChoices<BandwidthEstimator> kEstimatorChoices{
+    {"app", BandwidthEstimator::kAppOnly},
+    {"phy", BandwidthEstimator::kPhyOnly},
+    {"cross", BandwidthEstimator::kCrossLayer}};
+const FlagChoices<GroupingPolicy> kGroupingChoices{
+    {"unicast", GroupingPolicy::kUnicastOnly},
+    {"pairs", GroupingPolicy::kPairsOnly},
+    {"greedy", GroupingPolicy::kGreedyIoU},
+    {"exhaustive", GroupingPolicy::kExhaustive}};
+
+void print_session_result(const SessionConfig& config,
+                          const SessionResult& result,
+                          const std::string& device, bool per_user) {
+  std::printf("session: %zu %s users, %.1f s, %zu AP(s)\n",
+              config.user_count, device.c_str(), config.duration_s,
+              config.ap_count);
+  std::printf("mean fps %.1f | min fps %.1f | total stall %.2f s | mean "
+              "tier %.2f | fairness %.2f\n",
+              result.qoe.mean_fps(), result.qoe.min_fps(),
+              result.qoe.total_stall_s(), result.qoe.mean_quality_tier(),
+              result.qoe.fairness_index());
+  std::printf("motion-to-photon: mean %.1f ms, max %.1f ms (user 0)\n",
+              1e3 * result.qoe.users.front().mean_m2p_latency_s,
+              1e3 * result.qoe.users.front().max_m2p_latency_s);
+  std::printf("multicast bit share %.2f | mean group %.2f | custom beams "
+              "%zu | stock %zu\n",
+              result.multicast_bit_share, result.mean_group_size,
+              result.custom_beam_uses, result.stock_beam_uses);
+  std::printf("blockage forecasts %zu | reflection switches %zu | outage "
+              "user-ticks %zu\n",
+              result.blockage_forecasts, result.reflection_switches,
+              result.outage_user_ticks);
+  std::printf("SLS sweeps %zu | sweep outage ticks %zu | airtime "
+              "utilization %.2f | dropped ticks %zu\n",
+              result.sls_sweeps, result.sls_outage_ticks,
+              result.mean_airtime_utilization, result.dropped_ticks);
+  if (!config.fault_plan.empty())
+    std::printf("%s", result.faults.summary().c_str());
+
+  if (per_user) {
+    AsciiTable table;
+    table.header({"user", "fps", "stall s", "tier", "goodput Mbps",
+                  "switches"});
+    for (const auto& u : result.qoe.users) {
+      table.row({std::to_string(u.user), AsciiTable::num(u.displayed_fps, 1),
+                 AsciiTable::num(u.stall_time_s, 2),
+                 AsciiTable::num(u.mean_quality_tier, 2),
+                 AsciiTable::num(u.mean_goodput_mbps, 1),
+                 std::to_string(u.quality_switches)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -38,8 +102,7 @@ int main(int argc, char** argv) {
                    "multi-user volumetric streaming session runner");
   flags.add_number("users", 4, "number of concurrent viewers");
   flags.add_number("duration", 8.0, "session length in seconds");
-  flags.add_string("device", "hm", "viewer hardware: hm (headset) or ph "
-                                   "(smartphone)");
+  flags.add_string("device", "hm", "viewer hardware: " + kDeviceChoices.names());
   flags.add_number("points", 100000, "master content points per frame");
   flags.add_number("frames", 30, "video frames before the clip loops");
   flags.add_number("aps", 1, "number of coordinated APs (1-4)");
@@ -52,12 +115,11 @@ int main(int argc, char** argv) {
                    "(6.28 = surround)");
   flags.add_number("start-tier", 2, "initial quality tier (0..2)");
   flags.add_string("adaptation", "cross",
-                   "rate adaptation: none | buffer | cross");
+                   "rate adaptation: " + kAdaptationChoices.names());
   flags.add_string("estimator", "cross",
-                   "bandwidth estimator: app | phy | cross");
+                   "bandwidth estimator: " + kEstimatorChoices.names());
   flags.add_string("grouping", "greedy",
-                   "multicast grouping: unicast | pairs | greedy | "
-                   "exhaustive");
+                   "multicast grouping: " + kGroupingChoices.names());
   flags.add_switch("no-multicast", "disable multicast entirely");
   flags.add_switch("no-custom-beams", "stock sector beams only");
   flags.add_switch("no-mitigation", "disable proactive blockage mitigation");
@@ -65,6 +127,20 @@ int main(int argc, char** argv) {
   flags.add_switch("reactive-beams",
                    "reactive SLS beam training instead of predictive "
                    "tracking");
+  flags.add_string("policy", "",
+                   "pipeline policy overrides by registry name, applied on "
+                   "top of the ablation flags: slot=name[,slot=name...], "
+                   "e.g. grouping=pairs_only,beam=reactive (slots: "
+                   "prediction, beam, adaptation, mitigation, grouping, "
+                   "transport)");
+  flags.add_number("fleet", 0,
+                   "run N independently-seeded sessions (seed, seed+1, ...) "
+                   "and print aggregate fleet statistics (0 = single "
+                   "session)");
+  flags.add_number("fleet-parallel", 0,
+                   "sessions simulated concurrently in fleet mode (0 = "
+                   "hardware concurrency; results are bit-identical at any "
+                   "value)");
   flags.add_string("replay", "",
                    "directory of VCTRACE files (user0.trace, user1.trace, "
                    "...) to replay instead of synthetic mobility");
@@ -98,15 +174,15 @@ int main(int argc, char** argv) {
   }
 
   SessionConfig config;
-  config.user_count = static_cast<std::size_t>(flags.integer("users"));
+  config.user_count = flags.size("users");
   config.duration_s = flags.num("duration");
-  config.master_points = static_cast<std::size_t>(flags.integer("points"));
-  config.video_frames = static_cast<std::size_t>(flags.integer("frames"));
-  config.ap_count = static_cast<std::size_t>(flags.integer("aps"));
-  config.seed = static_cast<std::uint64_t>(flags.integer("seed"));
-  config.worker_threads = static_cast<std::size_t>(flags.integer("threads"));
+  config.master_points = flags.size("points");
+  config.video_frames = flags.size("frames");
+  config.ap_count = flags.size("aps");
+  config.seed = flags.u64("seed");
+  config.worker_threads = flags.size("threads");
   config.audience_spread_rad = flags.num("spread");
-  config.start_tier = static_cast<std::size_t>(flags.integer("start-tier"));
+  config.start_tier = flags.size("start-tier");
   config.enable_multicast = !flags.on("no-multicast");
   config.enable_custom_beams = !flags.on("no-custom-beams");
   config.enable_blockage_mitigation = !flags.on("no-mitigation");
@@ -114,48 +190,35 @@ int main(int argc, char** argv) {
   config.predictive_beam_tracking = !flags.on("reactive-beams");
 
   const std::string device = flags.str("device");
-  if (device == "hm") {
-    config.device = trace::DeviceType::kHeadset;
-  } else if (device == "ph") {
-    config.device = trace::DeviceType::kSmartphone;
+  if (const auto v = kDeviceChoices.parse(device)) {
+    config.device = *v;
   } else {
-    return fail("unknown --device: " + device);
+    return fail("unknown --device: " + device + " (expected " +
+                kDeviceChoices.names() + ")");
+  }
+  if (const auto v = kAdaptationChoices.parse(flags.str("adaptation"))) {
+    config.adaptation = *v;
+  } else {
+    return fail("unknown --adaptation: " + flags.str("adaptation") +
+                " (expected " + kAdaptationChoices.names() + ")");
+  }
+  if (const auto v = kEstimatorChoices.parse(flags.str("estimator"))) {
+    config.estimator = *v;
+  } else {
+    return fail("unknown --estimator: " + flags.str("estimator") +
+                " (expected " + kEstimatorChoices.names() + ")");
+  }
+  if (const auto v = kGroupingChoices.parse(flags.str("grouping"))) {
+    config.grouping = *v;
+  } else {
+    return fail("unknown --grouping: " + flags.str("grouping") +
+                " (expected " + kGroupingChoices.names() + ")");
   }
 
-  const std::string adaptation = flags.str("adaptation");
-  if (adaptation == "none") {
-    config.adaptation = AdaptationPolicy::kNone;
-  } else if (adaptation == "buffer") {
-    config.adaptation = AdaptationPolicy::kBufferOnly;
-  } else if (adaptation == "cross") {
-    config.adaptation = AdaptationPolicy::kCrossLayer;
-  } else {
-    return fail("unknown --adaptation: " + adaptation);
-  }
-
-  const std::string estimator = flags.str("estimator");
-  if (estimator == "app") {
-    config.estimator = BandwidthEstimator::kAppOnly;
-  } else if (estimator == "phy") {
-    config.estimator = BandwidthEstimator::kPhyOnly;
-  } else if (estimator == "cross") {
-    config.estimator = BandwidthEstimator::kCrossLayer;
-  } else {
-    return fail("unknown --estimator: " + estimator);
-  }
-
-  const std::string grouping = flags.str("grouping");
-  if (grouping == "unicast") {
-    config.grouping = GroupingPolicy::kUnicastOnly;
-  } else if (grouping == "pairs") {
-    config.grouping = GroupingPolicy::kPairsOnly;
-  } else if (grouping == "greedy") {
-    config.grouping = GroupingPolicy::kGreedyIoU;
-  } else if (grouping == "exhaustive") {
-    config.grouping = GroupingPolicy::kExhaustive;
-  } else {
-    return fail("unknown --grouping: " + grouping);
-  }
+  const auto overrides = parse_key_value_list(flags.str("policy"), &error);
+  if (!overrides) return fail("--policy: " + error);
+  for (const auto& [slot, name] : *overrides)
+    config.policy_overrides[slot] = name;
 
   const std::string replay_dir = flags.str("replay");
   if (!replay_dir.empty()) {
@@ -174,8 +237,7 @@ int main(int argc, char** argv) {
 
   if (flags.on("chaos")) {
     fault::ChaosConfig chaos;
-    const auto chaos_seed =
-        static_cast<std::uint64_t>(flags.integer("chaos-seed"));
+    const auto chaos_seed = flags.u64("chaos-seed");
     chaos.seed = chaos_seed != 0 ? chaos_seed : config.seed;
     chaos.duration_s = config.duration_s;
     chaos.user_count = config.user_count;
@@ -183,6 +245,53 @@ int main(int argc, char** argv) {
     chaos.intensity = flags.num("chaos-intensity");
     config.fault_plan = fault::random_plan(chaos);
     std::printf("%s", config.fault_plan.summary().c_str());
+  }
+
+  // ---- fleet mode: N seeded rooms, aggregate statistics -----------------
+  const std::size_t fleet_size = flags.size("fleet");
+  if (fleet_size > 0) {
+    if (!flags.str("timeline").empty() || !flags.str("telemetry").empty())
+      return fail("--timeline/--telemetry are per-session sinks; not "
+                  "available with --fleet");
+    FleetConfig fc;
+    fc.session = config;
+    fc.sessions = fleet_size;
+    fc.parallel_sessions = flags.size("fleet-parallel");
+    FleetResult fleet;
+    try {
+      fleet = run_fleet(fc);
+    } catch (const std::invalid_argument& e) {
+      return fail(std::string("invalid configuration: ") + e.what());
+    }
+    std::printf("fleet: %zu sessions x %zu %s users (seeds %llu..%llu), "
+                "%.1f s each\n",
+                fc.sessions, config.user_count, device.c_str(),
+                static_cast<unsigned long long>(config.seed),
+                static_cast<unsigned long long>(config.seed + fc.sessions - 1),
+                config.duration_s);
+    std::printf("supported users %zu / %zu (>= %.1f fps)\n",
+                fleet.supported_users, fleet.total_users,
+                fc.supported_fps_threshold);
+    std::printf("displayed fps: mean %.1f | p5 %.1f | p50 %.1f | p95 %.1f\n",
+                fleet.mean_displayed_fps, fleet.p5_displayed_fps,
+                fleet.p50_displayed_fps, fleet.p95_displayed_fps);
+    std::printf("stall ratio mean %.3f | p95 stall %.2f s | mean tier "
+                "%.2f\n",
+                fleet.mean_stall_ratio, fleet.p95_stall_time_s,
+                fleet.mean_quality_tier);
+    if (flags.on("per-user")) {
+      AsciiTable table;
+      table.header({"session", "mean fps", "min fps", "stall s", "tier"});
+      for (std::size_t k = 0; k < fleet.sessions.size(); ++k) {
+        const auto& qoe = fleet.sessions[k].qoe;
+        table.row({std::to_string(k), AsciiTable::num(qoe.mean_fps(), 1),
+                   AsciiTable::num(qoe.min_fps(), 1),
+                   AsciiTable::num(qoe.total_stall_s(), 2),
+                   AsciiTable::num(qoe.mean_quality_tier(), 2)});
+      }
+      std::printf("%s", table.render().c_str());
+    }
+    return 0;
   }
 
   std::ofstream timeline;
@@ -222,44 +331,6 @@ int main(int argc, char** argv) {
                 telemetry.event_count());
   }
 
-  std::printf("session: %zu %s users, %.1f s, %zu AP(s)\n",
-              config.user_count, device.c_str(), config.duration_s,
-              config.ap_count);
-  std::printf("mean fps %.1f | min fps %.1f | total stall %.2f s | mean "
-              "tier %.2f | fairness %.2f\n",
-              result.qoe.mean_fps(), result.qoe.min_fps(),
-              result.qoe.total_stall_s(), result.qoe.mean_quality_tier(),
-              result.qoe.fairness_index());
-  std::printf("motion-to-photon: mean %.1f ms, max %.1f ms (user 0)\n",
-              1e3 * result.qoe.users.front().mean_m2p_latency_s,
-              1e3 * result.qoe.users.front().max_m2p_latency_s);
-  std::printf("multicast bit share %.2f | mean group %.2f | custom beams "
-              "%zu | stock %zu\n",
-              result.multicast_bit_share, result.mean_group_size,
-              result.custom_beam_uses, result.stock_beam_uses);
-  std::printf("blockage forecasts %zu | reflection switches %zu | outage "
-              "user-ticks %zu\n",
-              result.blockage_forecasts, result.reflection_switches,
-              result.outage_user_ticks);
-  std::printf("SLS sweeps %zu | sweep outage ticks %zu | airtime "
-              "utilization %.2f | dropped ticks %zu\n",
-              result.sls_sweeps, result.sls_outage_ticks,
-              result.mean_airtime_utilization, result.dropped_ticks);
-  if (!config.fault_plan.empty())
-    std::printf("%s", result.faults.summary().c_str());
-
-  if (flags.on("per-user")) {
-    AsciiTable table;
-    table.header({"user", "fps", "stall s", "tier", "goodput Mbps",
-                  "switches"});
-    for (const auto& u : result.qoe.users) {
-      table.row({std::to_string(u.user), AsciiTable::num(u.displayed_fps, 1),
-                 AsciiTable::num(u.stall_time_s, 2),
-                 AsciiTable::num(u.mean_quality_tier, 2),
-                 AsciiTable::num(u.mean_goodput_mbps, 1),
-                 std::to_string(u.quality_switches)});
-    }
-    std::printf("%s", table.render().c_str());
-  }
+  print_session_result(config, result, device, flags.on("per-user"));
   return 0;
 }

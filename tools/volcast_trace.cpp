@@ -33,11 +33,11 @@ namespace {
 
 trace::UserStudy build_study(const FlagParser& flags) {
   trace::UserStudyConfig config;
-  const auto users = static_cast<std::size_t>(flags.integer("users"));
+  const std::size_t users = flags.size("users");
   config.smartphone_users = users / 2;
   config.headset_users = users - users / 2;
-  config.samples_per_user = static_cast<std::size_t>(flags.integer("samples"));
-  config.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  config.samples_per_user = flags.size("samples");
+  config.seed = flags.u64("seed");
   return trace::UserStudy(config);
 }
 
