@@ -55,7 +55,7 @@ int run(const char* json_path) {
 
   AsciiTable table;
   table.header({"sessions", "serial s", "parallel s", "speedup",
-                "supported", "mean fps"});
+                "supervised s", "overhead", "supported", "mean fps"});
   bool first = true;
   for (std::size_t sessions : {2u, 4u, 8u}) {
     // Best of 3: scheduler noise on a shared box only ever adds time, so
@@ -63,6 +63,7 @@ int run(const char* json_path) {
     constexpr int kReps = 3;
     double serial_s = 0.0;
     double parallel_s = 0.0;
+    double supervised_s = 0.0;
     FleetResult r;
     for (int rep = 0; rep < kReps; ++rep) {
       auto t0 = std::chrono::steady_clock::now();
@@ -75,20 +76,38 @@ int run(const char* json_path) {
       const double parallel = seconds_since(t0);
       if (rep == 0 || parallel < parallel_s) parallel_s = parallel;
       if (rp.total_users != r.total_users) return 1;  // impossible
+
+      // Supervision active but never firing (retry budget armed, generous
+      // deadline): measures the pure bookkeeping overhead of the
+      // supervised slot runner. Target: within noise of the plain serial
+      // run (< 2%).
+      FleetConfig supervised = fleet_config(sessions, 1);
+      supervised.supervision.max_retries = 2;
+      supervised.supervision.tick_budget = 1'000'000;
+      t0 = std::chrono::steady_clock::now();
+      const FleetResult rs = run_fleet(supervised);
+      const double sup = seconds_since(t0);
+      if (rep == 0 || sup < supervised_s) supervised_s = sup;
+      if (rs.total_users != r.total_users) return 1;  // impossible
     }
     const double speedup = serial_s / parallel_s;
+    const double overhead = supervised_s / serial_s - 1.0;
     if (out != nullptr) {
       std::fprintf(out,
                    "%s\n    {\"sessions\": %zu, \"serial_s\": %.4f, "
                    "\"parallel_s\": %.4f, \"speedup\": %.3f, "
+                   "\"supervised_s\": %.4f, \"supervision_overhead\": %.4f, "
                    "\"supported_users\": %zu, \"total_users\": %zu, "
                    "\"mean_fps\": %.3f}",
                    first ? "" : ",", sessions, serial_s, parallel_s, speedup,
-                   r.supported_users, r.total_users, r.mean_displayed_fps);
+                   supervised_s, overhead, r.supported_users, r.total_users,
+                   r.mean_displayed_fps);
       first = false;
     }
     table.row({std::to_string(sessions), AsciiTable::num(serial_s, 2),
                AsciiTable::num(parallel_s, 2), AsciiTable::num(speedup, 2),
+               AsciiTable::num(supervised_s, 2),
+               AsciiTable::num(100.0 * overhead, 1) + "%",
                std::to_string(r.supported_users) + "/" +
                    std::to_string(r.total_users),
                AsciiTable::num(r.mean_displayed_fps, 1)});

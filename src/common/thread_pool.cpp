@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <limits>
 
 namespace volcast::common {
 
@@ -17,6 +18,9 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> next{0};          // chunk claim ticket
   std::size_t done = 0;                      // guarded by pool mu_
   std::vector<std::exception_ptr> errors;    // one slot per chunk
+  /// Lowest chunk index that has failed so far; chunks claimed behind it
+  /// are cancelled (fail-fast) instead of run.
+  std::atomic<std::size_t> first_error{std::numeric_limits<std::size_t>::max()};
 };
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -44,10 +48,24 @@ void ThreadPool::execute(Batch& batch) {
     const std::size_t chunk =
         batch.next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= batch.chunks) return;
+    // Fail-fast: skip a claimed chunk only when a *strictly lower* chunk
+    // already failed — the lowest recorded failure then provably ran, so
+    // the lowest-failure rethrow contract survives cancellation.
+    if (batch.first_error.load(std::memory_order_acquire) < chunk) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++batch.done == batch.chunks) done_cv_.notify_all();
+      continue;
+    }
     try {
       (*batch.chunk_fn)(chunk);
     } catch (...) {
       batch.errors[chunk] = std::current_exception();
+      std::size_t prev = batch.first_error.load(std::memory_order_relaxed);
+      while (chunk < prev &&
+             !batch.first_error.compare_exchange_weak(
+                 prev, chunk, std::memory_order_release,
+                 std::memory_order_relaxed)) {
+      }
     }
     std::lock_guard<std::mutex> lock(mu_);
     if (++batch.done == batch.chunks) done_cv_.notify_all();

@@ -18,6 +18,9 @@
 //     on the worker — safe, still deterministic, never deadlocks.
 //   * Exceptions thrown by fn are captured and the one from the lowest chunk
 //     index is rethrown on the caller after the whole batch finishes.
+//   * Fail-fast: once any chunk has failed, chunks *behind* it that were not
+//     yet claimed are cancelled instead of run. Only indexes above a failure
+//     are ever skipped, so the lowest-failure rethrow stays deterministic.
 #pragma once
 
 #include <condition_variable>
@@ -58,6 +61,26 @@ class ThreadPool {
       const std::size_t hi = n * (chunk + 1) / chunks;
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     });
+  }
+
+  /// Like parallel_for, but every index is its own claimable task (tasks
+  /// may outnumber lanes), so heavyweight, unevenly-sized jobs
+  /// load-balance dynamically and fail-fast cancellation has real unstarted
+  /// work to cancel. fn(i) runs at most once per i: after any task throws,
+  /// tasks with a higher index that were not yet claimed are skipped, and
+  /// the exception from the lowest-indexed failed task is rethrown. Use for
+  /// coarse jobs (whole sessions); parallel_for's contiguous chunks remain
+  /// the right shape for fine-grained per-element loops.
+  template <typename Fn>
+  void parallel_tasks(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (thread_count_ <= 1 || workers_.empty() || n == 1) {
+      // Serial path: a throw propagates immediately, cancelling the rest —
+      // the same fail-fast contract with zero synchronization.
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    run_chunks(n, [&fn](std::size_t i) { fn(i); });
   }
 
   /// Convenience for optional pools: runs on `pool` when non-null, else

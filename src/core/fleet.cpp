@@ -1,9 +1,15 @@
 #include "core/fleet.h"
 
+#include <cstdint>
+#include <mutex>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "core/checkpoint.h"
 
 namespace volcast::core {
 
@@ -25,33 +31,152 @@ void FleetConfig::validate() const {
   session.validate();
 }
 
+namespace {
+
+/// Runs one fleet slot under the supervision policy: every failure is
+/// caught and classified instead of escaping, transient classes are
+/// retried with a deterministically derived seed, deadline overruns are
+/// never retried (the budget is structural — a rerun would overrun
+/// again), and an exhausted retry budget quarantines the slot. Pure data
+/// in, pure data out: the outcome is bit-identical at any
+/// parallel_sessions value.
+SlotOutcome run_supervised_slot(const FleetConfig& config, std::size_t slot,
+                                SessionResult& out) {
+  SlotOutcome outcome;
+  const std::uint64_t base_seed =
+      config.session.seed + static_cast<std::uint64_t>(slot);
+  std::uint64_t seed = base_seed;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    outcome.attempts = attempt;
+    outcome.seed = seed;
+    try {
+      SessionConfig sc = config.session;
+      sc.seed = seed;
+      if (config.supervision.tick_budget != 0)
+        sc.tick_budget = config.supervision.tick_budget;
+      Session session(std::move(sc));
+      out = session.run();
+      outcome.status = SlotStatus::kCompleted;
+      outcome.error_class = FailureClass::kNone;
+      outcome.message.clear();
+      return outcome;
+    } catch (...) {
+      std::string message;
+      const FailureClass cls = classify_current_exception(message);
+      outcome.error_class = cls;
+      outcome.message = std::move(message);
+      if (cls == FailureClass::kDeadline) {
+        outcome.status = SlotStatus::kDeadlineExceeded;
+        return outcome;
+      }
+      if (attempt > config.supervision.max_retries) {
+        outcome.status = config.supervision.max_retries > 0
+                             ? SlotStatus::kQuarantined
+                             : SlotStatus::kFailed;
+        return outcome;
+      }
+      outcome.backoff_ticks += retry_backoff_ticks(slot, attempt);
+      seed = derive_retry_seed(base_seed, slot, attempt + 1);
+    }
+  }
+}
+
+}  // namespace
+
 FleetResult run_fleet(const FleetConfig& config) {
   config.validate();
 
   FleetResult result;
   result.sessions.resize(config.sessions);
-  {
-    // Sessions are heavyweight (each precomputes its video store), so the
-    // pool fans out whole sessions; each writes only its own slot. Inner
-    // session parallelism multiplies with this — for large fleets prefer
-    // session.worker_threads = 1 and let the fleet dimension scale.
-    common::ThreadPool pool(config.parallel_sessions);
-    pool.parallel_for(config.sessions, [&](std::size_t k) {
-      SessionConfig sc = config.session;
-      sc.seed = config.session.seed + static_cast<std::uint64_t>(k);
-      Session session(std::move(sc));
-      result.sessions[k] = session.run();
-    });
+  result.outcomes.resize(config.sessions);
+
+  const std::uint64_t fingerprint = fleet_fingerprint(config);
+
+  // Restore finished slots verbatim before dispatching anything: the
+  // stored outcome and result are byte-for-byte what the original run
+  // produced, which is what makes the resumed FleetResult bit-identical
+  // to an uninterrupted one.
+  std::vector<char> finished(config.sessions, 0);
+  if (!config.resume_file.empty()) {
+    FleetCheckpoint ckpt = load_checkpoint(config.resume_file);
+    if (ckpt.fingerprint != fingerprint)
+      throw CheckpointError(
+          "checkpoint: fingerprint mismatch — " + config.resume_file +
+          " was produced by a different fleet configuration");
+    if (ckpt.slot_count != config.sessions)
+      throw CheckpointError(
+          "checkpoint: slot count " + std::to_string(ckpt.slot_count) +
+          " does not match a fleet of " + std::to_string(config.sessions));
+    for (SlotRecord& rec : ckpt.records) {
+      result.sessions[rec.slot] = std::move(rec.result);
+      result.outcomes[rec.slot] = std::move(rec.outcome);
+      finished[rec.slot] = 1;
+    }
   }
 
-  // Aggregates folded serially, in slot order then user order.
+  // Checkpoint sink. `finished` doubles as the happens-before edge: a
+  // slot's result/outcome writes precede setting its flag under ckpt_mu,
+  // so the builder (also under ckpt_mu) only ever reads quiescent slots.
+  std::mutex ckpt_mu;
+  std::size_t newly_finished = 0;
+  const bool sink_active =
+      !config.checkpoint_file.empty() || config.kill_after_slots > 0;
+
+  auto run_slot = [&](std::size_t k) {
+    if (finished[k]) return;
+    result.outcomes[k] = run_supervised_slot(config, k, result.sessions[k]);
+    if (!sink_active) return;
+    std::lock_guard<std::mutex> lock(ckpt_mu);
+    finished[k] = 1;
+    ++newly_finished;
+    if (!config.checkpoint_file.empty()) {
+      FleetCheckpoint ckpt;
+      ckpt.fingerprint = fingerprint;
+      ckpt.slot_count = static_cast<std::uint32_t>(config.sessions);
+      for (std::size_t j = 0; j < config.sessions; ++j) {
+        if (!finished[j]) continue;
+        SlotRecord rec;
+        rec.slot = static_cast<std::uint32_t>(j);
+        rec.outcome = result.outcomes[j];
+        rec.result = result.sessions[j];
+        ckpt.records.push_back(std::move(rec));
+      }
+      save_checkpoint(ckpt, config.checkpoint_file);
+    }
+    if (config.kill_after_slots > 0 &&
+        newly_finished >= config.kill_after_slots)
+      throw FleetKilled("fleet kill hook: aborting after " +
+                        std::to_string(newly_finished) +
+                        " newly finished slots");
+  };
+
+  {
+    // Sessions are heavyweight (each precomputes its video store), so the
+    // pool fans out whole sessions via per-slot task claiming; each writes
+    // only its own slot. Inner session parallelism multiplies with this —
+    // for large fleets prefer session.worker_threads = 1 and let the fleet
+    // dimension scale.
+    common::ThreadPool pool(config.parallel_sessions);
+    pool.parallel_tasks(config.sessions, run_slot);
+  }
+
+  // Aggregates folded serially, in slot order then user order, over the
+  // *completed* slots only.
   RunningStats fps_stats;
   RunningStats stall_stats;
   RunningStats tier_stats;
   EmpiricalDistribution fps_dist;
   EmpiricalDistribution stall_dist;
-  for (const SessionResult& sr : result.sessions) {
-    for (const sim::UserQoe& q : sr.qoe.users) {
+  for (std::size_t k = 0; k < config.sessions; ++k) {
+    const SlotOutcome& outcome = result.outcomes[k];
+    if (outcome.status != SlotStatus::kCompleted) {
+      ++result.aborted_slots;
+      if (outcome.status == SlotStatus::kQuarantined)
+        ++result.quarantined_slots;
+      continue;
+    }
+    if (outcome.attempts > 1) ++result.retried_slots;
+    for (const sim::UserQoe& q : result.sessions[k].qoe.users) {
       ++result.total_users;
       if (q.displayed_fps >= config.supported_fps_threshold)
         ++result.supported_users;

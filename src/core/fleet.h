@@ -7,12 +7,22 @@
 // always runs the session template with seed `session.seed + k`, results
 // land in slot k, and every aggregate is folded serially in slot order —
 // the FleetResult is bit-identical for every `parallel_sessions` value.
+//
+// Supervision contract: a throwing session never escapes run_fleet — the
+// slot is recorded as failed (typed SlotOutcome, see core/supervisor.h),
+// optionally retried with a deterministically derived seed, and the
+// healthy slots still fold into the aggregates. With `checkpoint_file`
+// set, every finished slot is persisted (core/checkpoint.h) and a later
+// run with `resume_file` skips the stored slots, producing a FleetResult
+// bit-identical to an uninterrupted run.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/session.h"
+#include "core/supervisor.h"
 
 namespace volcast::core {
 
@@ -31,6 +41,23 @@ struct FleetConfig {
   /// floor (the paper's bar for smooth 30 FPS playback).
   double supported_fps_threshold = 29.5;
 
+  /// Retry / deadline policy (defaults disable both; failures are still
+  /// caught and recorded rather than aborting the fleet).
+  SupervisorConfig supervision;
+  /// When non-empty, rewrite this file after every finished slot with all
+  /// finished slots so far (atomic replace; see core/checkpoint.h).
+  std::string checkpoint_file;
+  /// When non-empty, restore the slots stored in this file verbatim and
+  /// only run the missing ones. Throws CheckpointError when the file is
+  /// invalid or was produced by a different configuration. May name the
+  /// same file as `checkpoint_file` to continue a run in place.
+  std::string resume_file;
+  /// Test hook: abort with core::FleetKilled once this many *newly run*
+  /// slots have finished and checkpointed (0 = off). Simulates an operator
+  /// kill mid-fleet; exact with parallel_sessions == 1, best-effort
+  /// otherwise (slots already in flight still complete).
+  std::size_t kill_after_slots = 0;
+
   /// Throws std::invalid_argument on an invalid fleet or session config.
   void validate() const;
 };
@@ -38,8 +65,21 @@ struct FleetConfig {
 /// Fleet outcome: per-session results (slot k = seed + k) + aggregates.
 struct FleetResult {
   std::vector<SessionResult> sessions;
+  /// Per-slot supervision record, same indexing as `sessions`. A slot that
+  /// did not complete keeps a default SessionResult and is excluded from
+  /// every aggregate below.
+  std::vector<SlotOutcome> outcomes;
 
-  // Aggregates over every user of every session, folded in slot order.
+  /// Slots that produced no result (failed + deadline-exceeded +
+  /// quarantined).
+  std::size_t aborted_slots = 0;
+  /// Completed slots that needed more than one attempt.
+  std::size_t retried_slots = 0;
+  /// Slots that exhausted max_retries.
+  std::size_t quarantined_slots = 0;
+
+  // Aggregates over every user of every *completed* session, folded in
+  // slot order.
   std::size_t total_users = 0;
   /// Users whose displayed FPS met the supported threshold.
   std::size_t supported_users = 0;

@@ -13,6 +13,7 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "core/stages/registry.h"
+#include "core/supervisor.h"
 #include "core/stages/session_state.h"
 #include "core/stages/tick_context.h"
 #include "obs/telemetry.h"
@@ -96,6 +97,12 @@ SessionResult Session::Impl::run() {
   state.begin_run();
 
   for (std::size_t tick = 0; tick < ticks; ++tick) {
+    if (config.tick_budget != 0 && tick >= config.tick_budget)
+      throw DeadlineExceeded(
+          "session deadline: tick budget " +
+          std::to_string(config.tick_budget) + " exhausted with " +
+          std::to_string(ticks - tick) + " of " + std::to_string(ticks) +
+          " ticks left");
     TickContext ctx;
     ctx.tick = tick;
     ctx.tick32 = static_cast<std::uint32_t>(tick);
@@ -110,6 +117,11 @@ SessionResult Session::Impl::run() {
     if (state.has_faults) {
       const std::size_t fired = state.injector.advance(ctx.t);
       state.freport.faults_injected += fired;
+      if (state.injector.crash_triggered())
+        throw fault::SessionCrashFault(
+            "fault plan: session crash injected at t=" +
+            std::to_string(state.injector.crash_onset_s()) + "s (tick " +
+            std::to_string(tick) + ")");
       if (state.tel != nullptr && fired > 0) {
         obs::Event e;
         e.tick = ctx.tick32;

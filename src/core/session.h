@@ -142,6 +142,13 @@ struct SessionConfig {
   /// skipped) instead of queued.
   double max_backlog_s = 0.25;
 
+  /// Logical deadline for the whole run, in ticks (0 = unlimited). When
+  /// the tick loop would start tick `tick_budget`, run() aborts with
+  /// core::DeadlineExceeded instead — the fleet supervisor's deterministic
+  /// stand-in for a wall-clock watchdog (see core/supervisor.h). Purely a
+  /// budget: values at or above duration_s * fps change nothing.
+  std::size_t tick_budget = 0;
+
   /// Timed fault events injected into the run (empty = no faults; the
   /// session then behaves bit-identically to a build without the fault
   /// subsystem). See fault/fault_plan.h.

@@ -1,0 +1,97 @@
+#include "core/supervisor.h"
+
+#include <new>
+
+#include "fault/fault_plan.h"
+
+namespace volcast::core {
+
+namespace {
+
+/// splitmix64 finalizer, the same decorrelator the fault injector uses for
+/// its per-(user, tick) draws.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(SlotStatus status) noexcept {
+  switch (status) {
+    case SlotStatus::kCompleted: return "completed";
+    case SlotStatus::kFailed: return "failed";
+    case SlotStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case SlotStatus::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+const char* to_string(FailureClass c) noexcept {
+  switch (c) {
+    case FailureClass::kNone: return "none";
+    case FailureClass::kCrashFault: return "crash-fault";
+    case FailureClass::kDeadline: return "deadline";
+    case FailureClass::kBadAlloc: return "bad-alloc";
+    case FailureClass::kInvalidArgument: return "invalid-argument";
+    case FailureClass::kLogicError: return "logic-error";
+    case FailureClass::kRuntimeError: return "runtime-error";
+    case FailureClass::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::uint64_t derive_retry_seed(std::uint64_t base_seed, std::size_t slot,
+                                std::uint32_t attempt) noexcept {
+  // The salt keeps retry seeds disjoint from the base_seed + k family that
+  // first attempts use, so a retried slot never silently clones a
+  // neighbouring slot's run.
+  return mix(base_seed ^ 0x5afe'f1ee'7c0d'e5edULL ^
+             mix(static_cast<std::uint64_t>(slot) * 0x632be59bd9b4e019ULL ^
+                 static_cast<std::uint64_t>(attempt)));
+}
+
+std::uint64_t retry_backoff_ticks(std::size_t slot,
+                                  std::uint32_t attempt) noexcept {
+  const std::uint32_t exponent = attempt < 10 ? attempt : 10;
+  const std::uint64_t base = std::uint64_t{1} << exponent;
+  const std::uint64_t jitter =
+      mix(static_cast<std::uint64_t>(slot) ^
+          (static_cast<std::uint64_t>(attempt) << 32)) &
+      0xf;
+  return base + jitter;
+}
+
+FailureClass classify_failure(const std::exception& e) noexcept {
+  // Most-derived classes first: the taxonomy's own types both derive from
+  // std::runtime_error.
+  if (dynamic_cast<const fault::SessionCrashFault*>(&e) != nullptr)
+    return FailureClass::kCrashFault;
+  if (dynamic_cast<const DeadlineExceeded*>(&e) != nullptr)
+    return FailureClass::kDeadline;
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr)
+    return FailureClass::kBadAlloc;
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr)
+    return FailureClass::kInvalidArgument;
+  if (dynamic_cast<const std::runtime_error*>(&e) != nullptr)
+    return FailureClass::kRuntimeError;
+  if (dynamic_cast<const std::logic_error*>(&e) != nullptr)
+    return FailureClass::kLogicError;
+  return FailureClass::kUnknown;
+}
+
+FailureClass classify_current_exception(std::string& message) {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    message = e.what();
+    return classify_failure(e);
+  } catch (...) {
+    message = "unknown exception";
+    return FailureClass::kUnknown;
+  }
+}
+
+}  // namespace volcast::core

@@ -17,6 +17,7 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kStuckSector: return "stuck-sector";
     case FaultKind::kFrameLoss: return "frame-loss";
     case FaultKind::kDecoderStall: return "decoder-stall";
+    case FaultKind::kSessionCrash: return "session-crash";
   }
   return "unknown";
 }
@@ -52,6 +53,12 @@ void FaultPlan::validate(std::size_t user_count, std::size_t ap_count) const {
         if (e.magnitude < 0.0)
           throw std::invalid_argument(where + "obstacle radius must be >= 0");
         break;
+      case FaultKind::kSessionCrash:
+        // `target` is a free draw salt, not a user index.
+        if (e.magnitude < 0.0 || e.magnitude > 1.0)
+          throw std::invalid_argument(
+              where + "crash probability must be in [0, 1]");
+        break;
       case FaultKind::kUserLeave:
       case FaultKind::kBeamProbeFail:
       case FaultKind::kStuckSector:
@@ -79,6 +86,8 @@ std::string FaultPlan::summary() const {
       out << " (permanent)";
     }
     if (e.kind == FaultKind::kFrameLoss) out << " p=" << e.magnitude;
+    if (e.kind == FaultKind::kSessionCrash)
+      out << " p=" << (e.magnitude > 0.0 ? e.magnitude : 1.0);
     if (e.kind == FaultKind::kObstacleSpawn)
       out << " at (" << e.position.x << ", " << e.position.y << ")";
     out << "\n";
@@ -147,6 +156,17 @@ FaultPlan random_plan(const ChaosConfig& config) {
     e.kind = FaultKind::kBeamProbeFail;
     e.target = 0;
     e.duration_s = std::max(0.5, config.duration_s * 0.25);
+    plan.add(e);
+  }
+  if (config.crash_probability > 0.0) {
+    // Separate stream: plans with crash_probability == 0 stay byte-for-byte
+    // what this generator produced before the crash-fault class existed.
+    Rng crash_rng(config.seed ^ 0xc4a5ULL);
+    FaultEvent e;
+    e.kind = FaultKind::kSessionCrash;
+    e.t_s = start + crash_rng.uniform(0.0, std::max(end - start, 1e-3));
+    e.target = static_cast<std::size_t>(crash_rng.uniform_int(0, 1023));
+    e.magnitude = std::min(config.crash_probability, 1.0);
     plan.add(e);
   }
   return plan;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@ enum class FaultKind {
   kStuckSector,    // user `target`'s serving sector freezes while active
   kFrameLoss,      // user frames corrupt/lost with probability `magnitude`
   kDecoderStall,   // user `target`'s decoder is frozen while active
+  kSessionCrash,   // whole session process dies at onset (see below)
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
@@ -46,10 +48,29 @@ struct FaultEvent {
   /// Active window; <= 0 means "until the end of the session".
   double duration_s = 0.0;
   /// Kind-specific knob: loss probability in [0, 1] for kFrameLoss,
-  /// obstacle radius in meters for kObstacleSpawn (0 = default 0.4 m).
+  /// obstacle radius in meters for kObstacleSpawn (0 = default 0.4 m),
+  /// crash probability in [0, 1] for kSessionCrash (0 = certain crash).
   double magnitude = 0.0;
   /// Obstacle spawn point in room coordinates (kObstacleSpawn only).
   geo::Vec3 position{};
+};
+
+/// Thrown out of Session::run when a kSessionCrash fault fires: the
+/// simulated analogue of the whole serving process dying mid-session. The
+/// session is unusable afterwards (it is single-shot anyway); the fleet
+/// supervisor (core/supervisor.h) catches this, classifies it, and retries
+/// or quarantines the slot instead of aborting the fleet.
+///
+/// Whether a kSessionCrash event actually fires is a deterministic draw
+/// from (session seed, event target, onset) against `magnitude`
+/// (0 = always crash). The draw depends on the seed, so a supervised
+/// retry with a derived seed models a *transient* crash (may survive the
+/// rerun) while magnitude 0/1.0 models a persistent one (crashes every
+/// attempt until quarantine). `target` is a free salt that selects which
+/// seeds draw below the probability — not a user index.
+class SessionCrashFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// An ordered, validated list of fault events.
@@ -86,6 +107,11 @@ struct ChaosConfig {
   /// Expected fault events per simulated second (before clamping to at
   /// least one event per plan).
   double intensity = 0.5;
+  /// When > 0, the plan additionally carries one kSessionCrash event with
+  /// this crash probability at a seeded onset. Drawn from a separate RNG
+  /// stream, so plans with crash_probability == 0 are byte-identical to
+  /// pre-crash-fault chaos plans.
+  double crash_probability = 0.0;
 };
 
 /// Generates a random-but-deterministic plan: same ChaosConfig, same plan.

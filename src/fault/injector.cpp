@@ -1,6 +1,7 @@
 #include "fault/injector.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 namespace volcast::fault {
@@ -38,11 +39,29 @@ std::size_t FaultInjector::advance(double t) {
   std::size_t newly_fired = 0;
   while (next_ < pending_.size() && pending_[next_].t_s <= t) {
     const FaultEvent& e = pending_[next_++];
+    ++newly_fired;
+    if (e.kind == FaultKind::kSessionCrash) {
+      // Instantaneous, never joins the active set. Whether the crash
+      // actually happens is a pure draw from (seed, target, onset) against
+      // the event's probability — deterministic per session seed, so a
+      // supervised retry with a derived seed redraws it.
+      const double p = e.magnitude > 0.0 ? e.magnitude : 1.0;
+      const std::uint64_t h = mix(
+          seed_ ^ 0xc4a5'0cf8'115e'55edULL ^
+          mix(static_cast<std::uint64_t>(e.target) * 0x9e3779b97f4a7c15ULL ^
+              std::bit_cast<std::uint64_t>(e.t_s)));
+      const double u =
+          static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      if (u < p && !crash_triggered_) {
+        crash_triggered_ = true;
+        crash_onset_ = e.t_s;
+      }
+      continue;
+    }
     Active a;
     a.event = e;
     a.until = e.duration_s > 0.0 ? e.t_s + e.duration_s : kForever;
     active_.push_back(a);
-    ++newly_fired;
     changed = true;
   }
   fired_ += newly_fired;
@@ -100,6 +119,8 @@ void FaultInjector::rebuild_flags() {
         obstacles_.push_back(obstacle);
         break;
       }
+      case FaultKind::kSessionCrash:
+        break;  // never enters the active set (handled in advance())
     }
   }
 }

@@ -30,6 +30,16 @@ class FaultInjector {
   /// Total events fired so far.
   [[nodiscard]] std::size_t fired() const noexcept { return fired_; }
 
+  /// True once a kSessionCrash event fired and its seeded draw passed.
+  /// The session driver checks this right after advance() and aborts the
+  /// run with fault::SessionCrashFault. Latched: stays true forever.
+  [[nodiscard]] bool crash_triggered() const noexcept {
+    return crash_triggered_;
+  }
+  /// Onset time of the triggering crash event (meaningful only when
+  /// crash_triggered()).
+  [[nodiscard]] double crash_onset_s() const noexcept { return crash_onset_; }
+
   [[nodiscard]] bool ap_down(std::size_t ap) const;
   [[nodiscard]] bool user_absent(std::size_t user) const;
   [[nodiscard]] bool probe_fail(std::size_t user) const;
@@ -65,6 +75,8 @@ class FaultInjector {
   std::size_t user_count_;
   std::size_t ap_count_;
   std::uint64_t seed_;
+  bool crash_triggered_ = false;
+  double crash_onset_ = 0.0;
 
   // Flags recomputed whenever the active set changes.
   std::vector<bool> ap_down_;

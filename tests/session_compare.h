@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/fleet.h"
 #include "core/session.h"
 
 namespace volcast::core {
@@ -67,6 +68,40 @@ inline void expect_identical(const SessionResult& x, const SessionResult& y) {
   EXPECT_EQ(x.faults.degraded_user_ticks, y.faults.degraded_user_ticks);
   EXPECT_EQ(x.faults.unhealthy_user_ticks, y.faults.unhealthy_user_ticks);
   EXPECT_EQ(x.faults.health_transitions, y.faults.health_transitions);
+}
+
+inline void expect_outcome_identical(const SlotOutcome& a,
+                                     const SlotOutcome& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.error_class, b.error_class);
+  EXPECT_EQ(a.message, b.message);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.backoff_ticks, b.backoff_ticks);
+}
+
+/// Bit-exact FleetResult comparison, supervision records included: the
+/// fleet promises identical outcomes at any `parallel_sessions` value and
+/// after any checkpoint/resume split.
+inline void expect_fleet_identical(const FleetResult& x, const FleetResult& y) {
+  ASSERT_EQ(x.sessions.size(), y.sessions.size());
+  for (std::size_t k = 0; k < x.sessions.size(); ++k)
+    expect_identical(x.sessions[k], y.sessions[k]);
+  ASSERT_EQ(x.outcomes.size(), y.outcomes.size());
+  for (std::size_t k = 0; k < x.outcomes.size(); ++k)
+    expect_outcome_identical(x.outcomes[k], y.outcomes[k]);
+  EXPECT_EQ(x.aborted_slots, y.aborted_slots);
+  EXPECT_EQ(x.retried_slots, y.retried_slots);
+  EXPECT_EQ(x.quarantined_slots, y.quarantined_slots);
+  EXPECT_EQ(x.total_users, y.total_users);
+  EXPECT_EQ(x.supported_users, y.supported_users);
+  EXPECT_BITEQ(x.mean_displayed_fps, y.mean_displayed_fps);
+  EXPECT_BITEQ(x.mean_stall_ratio, y.mean_stall_ratio);
+  EXPECT_BITEQ(x.mean_quality_tier, y.mean_quality_tier);
+  EXPECT_BITEQ(x.p5_displayed_fps, y.p5_displayed_fps);
+  EXPECT_BITEQ(x.p50_displayed_fps, y.p50_displayed_fps);
+  EXPECT_BITEQ(x.p95_displayed_fps, y.p95_displayed_fps);
+  EXPECT_BITEQ(x.p95_stall_time_s, y.p95_stall_time_s);
 }
 
 }  // namespace volcast::core

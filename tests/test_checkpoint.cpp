@@ -1,0 +1,329 @@
+// Fleet checkpoint/restore: bit-exact round trips, typed rejection of
+// every corruption, fingerprint scoping, and kill-and-resume equivalence
+// with an uninterrupted run.
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/endian.h"
+#include "fault/fault_plan.h"
+#include "session_compare.h"
+
+namespace volcast::core {
+namespace {
+
+FleetConfig tiny_fleet(std::size_t sessions) {
+  FleetConfig fc;
+  fc.session.user_count = 1;
+  fc.session.duration_s = 0.5;
+  fc.session.master_points = 20'000;
+  fc.session.video_frames = 10;
+  fc.session.worker_threads = 1;
+  fc.sessions = sessions;
+  fc.parallel_sessions = 1;
+  return fc;
+}
+
+/// An irregular SessionResult exercising every serialized field.
+SessionResult sample_result(std::uint64_t salt) {
+  SessionResult r;
+  r.qoe.duration_s = 0.5 + static_cast<double>(salt);
+  sim::UserQoe u;
+  u.user = salt;
+  u.displayed_fps = 29.972 + static_cast<double>(salt) * 0.125;
+  u.stall_time_s = 0.0625;
+  u.stall_ratio = 0.125;
+  u.mean_quality_tier = 1.5;
+  u.quality_switches = 3 + salt;
+  u.mean_goodput_mbps = 431.73;
+  u.viewport_miss_ratio = 0.031;
+  u.mean_m2p_latency_s = 0.021;
+  u.max_m2p_latency_s = 0.055;
+  r.qoe.users.push_back(u);
+  u.user = salt + 100;
+  u.displayed_fps = -0.0;  // sign bit must survive the round trip
+  r.qoe.users.push_back(u);
+  r.multicast_bit_share = 0.625;
+  r.mean_group_size = 1.75;
+  r.custom_beam_uses = 11 + salt;
+  r.stock_beam_uses = 5;
+  r.blockage_forecasts = 2;
+  r.reflection_switches = 1;
+  r.dropped_ticks = 4;
+  r.outage_user_ticks = 9;
+  r.sls_sweeps = 6;
+  r.sls_outage_ticks = 3;
+  r.mean_airtime_utilization = 0.4375;
+  r.faults.faults_injected = 2;
+  r.faults.recoveries = 1;
+  r.faults.mean_time_to_recover_s = 0.75;
+  r.faults.max_time_to_recover_s = 1.25;
+  r.faults.fault_rebuffer_s = 0.21;
+  r.faults.group_reformations = 1;
+  r.faults.concealed_frames = 7;
+  r.faults.skipped_frames = 2;
+  r.faults.probe_retries = 3;
+  r.faults.fallback_stock_beams = 1;
+  r.faults.fallback_reflection_beams = 1;
+  r.faults.fallback_tier_drops = 2;
+  r.faults.degraded_user_ticks = 13;
+  r.faults.unhealthy_user_ticks = 4;
+  r.faults.health_transitions = 5;
+  return r;
+}
+
+FleetCheckpoint sample_checkpoint() {
+  FleetCheckpoint ckpt;
+  ckpt.fingerprint = 0x1234'5678'9abc'def0ULL;
+  ckpt.slot_count = 5;
+  for (std::uint32_t slot : {0u, 2u, 4u}) {
+    SlotRecord rec;
+    rec.slot = slot;
+    rec.outcome.status =
+        slot == 2 ? SlotStatus::kFailed : SlotStatus::kCompleted;
+    rec.outcome.error_class =
+        slot == 2 ? FailureClass::kCrashFault : FailureClass::kNone;
+    rec.outcome.message = slot == 2 ? "fault plan: session crash" : "";
+    rec.outcome.attempts = slot == 4 ? 2 : 1;
+    rec.outcome.seed = 42 + slot;
+    rec.outcome.backoff_ticks = slot == 4 ? 17 : 0;
+    rec.result = sample_result(slot);
+    ckpt.records.push_back(rec);
+  }
+  return ckpt;
+}
+
+/// Scratch path under the build tree; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("volcast_ckpt_test_" + name))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Checkpoint, SerializeDeserializeRoundTripsBitExactly) {
+  const FleetCheckpoint ckpt = sample_checkpoint();
+  const FleetCheckpoint back = deserialize_checkpoint(serialize_checkpoint(ckpt));
+  EXPECT_EQ(back.fingerprint, ckpt.fingerprint);
+  EXPECT_EQ(back.slot_count, ckpt.slot_count);
+  ASSERT_EQ(back.records.size(), ckpt.records.size());
+  for (std::size_t i = 0; i < ckpt.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].slot, ckpt.records[i].slot);
+    expect_outcome_identical(back.records[i].outcome, ckpt.records[i].outcome);
+    expect_identical(back.records[i].result, ckpt.records[i].result);
+  }
+}
+
+TEST(Checkpoint, SaveLoadRoundTripsThroughAFile) {
+  const TempFile file("roundtrip.vckp");
+  const FleetCheckpoint ckpt = sample_checkpoint();
+  save_checkpoint(ckpt, file.path());
+  const FleetCheckpoint back = load_checkpoint(file.path());
+  EXPECT_EQ(back.fingerprint, ckpt.fingerprint);
+  ASSERT_EQ(back.records.size(), ckpt.records.size());
+  expect_identical(back.records[0].result, ckpt.records[0].result);
+}
+
+TEST(Checkpoint, MissingFileIsATypedError) {
+  EXPECT_THROW((void)load_checkpoint("/nonexistent/dir/fleet.vckp"),
+               CheckpointError);
+}
+
+TEST(Checkpoint, RejectsEveryHeaderCorruption) {
+  std::vector<std::uint8_t> blob = serialize_checkpoint(sample_checkpoint());
+
+  // Truncations at every boundary-ish prefix.
+  const std::vector<std::size_t> prefixes = {0,  4,  11, 31,
+                                             blob.size() - 9,
+                                             blob.size() - 1};
+  for (std::size_t keep : prefixes)
+    EXPECT_THROW(
+        (void)deserialize_checkpoint(
+            std::span<const std::uint8_t>(blob.data(), keep)),
+        CheckpointError)
+        << "prefix " << keep;
+
+  // A single flipped bit anywhere breaks the checksum.
+  const std::vector<std::size_t> flips = {0, 5, 17, blob.size() / 2,
+                                          blob.size() - 3};
+  for (std::size_t at : flips) {
+    std::vector<std::uint8_t> bad = blob;
+    bad[at] ^= 0x40;
+    EXPECT_THROW((void)deserialize_checkpoint(bad), CheckpointError)
+        << "flip at " << at;
+  }
+}
+
+/// Corrupts `blob` at `at`, then re-seals the trailing checksum — proving
+/// the structural validation catches it on its own, without the checksum.
+std::vector<std::uint8_t> resealed(std::vector<std::uint8_t> blob,
+                                   std::size_t at, std::uint8_t value) {
+  blob[at] = value;
+  const std::uint64_t sum = checkpoint_checksum(
+      std::span<const std::uint8_t>(blob.data(), blob.size() - 8));
+  for (int i = 0; i < 8; ++i)
+    blob[blob.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sum >> (8 * i));
+  return blob;
+}
+
+TEST(Checkpoint, BoundsChecksHoldEvenWithAValidChecksum) {
+  const std::vector<std::uint8_t> blob =
+      serialize_checkpoint(sample_checkpoint());
+
+  // Bad magic (offset 0) and foreign version (offset 4).
+  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 0, 0xff)),
+               CheckpointError);
+  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 4, 0x7f)),
+               CheckpointError);
+  // Absurd record count (offset 20): must be rejected before allocation.
+  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 23, 0xff)),
+               CheckpointError);
+  // First record's slot (offset 24) beyond slot_count.
+  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 24, 0xee)),
+               CheckpointError);
+  // Invalid status enumerator (offset 28).
+  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 28, 0x9)),
+               CheckpointError);
+}
+
+TEST(Checkpoint, FingerprintCoversWorkloadButNotParallelism) {
+  const FleetConfig base = tiny_fleet(3);
+  const std::uint64_t fp = fleet_fingerprint(base);
+  EXPECT_EQ(fp, fleet_fingerprint(base));  // pure
+
+  // Parallelism knobs and checkpoint paths are resumption-neutral.
+  FleetConfig same = base;
+  same.parallel_sessions = 7;
+  same.session.worker_threads = 9;
+  same.checkpoint_file = "a.vckp";
+  same.resume_file = "b.vckp";
+  same.kill_after_slots = 1;
+  EXPECT_EQ(fp, fleet_fingerprint(same));
+
+  // Everything result-determining must move the fingerprint.
+  FleetConfig diff = base;
+  diff.sessions = 4;
+  EXPECT_NE(fp, fleet_fingerprint(diff));
+  diff = base;
+  diff.session.seed = 2;
+  EXPECT_NE(fp, fleet_fingerprint(diff));
+  diff = base;
+  diff.session.user_count = 2;
+  EXPECT_NE(fp, fleet_fingerprint(diff));
+  diff = base;
+  diff.session.enable_multicast = false;
+  EXPECT_NE(fp, fleet_fingerprint(diff));
+  diff = base;
+  diff.session.policy_overrides["grouping"] = "pairs_only";
+  EXPECT_NE(fp, fleet_fingerprint(diff));
+  diff = base;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kBeamProbeFail;
+  e.t_s = 0.1;
+  diff.session.fault_plan.add(e);
+  EXPECT_NE(fp, fleet_fingerprint(diff));
+  diff = base;
+  diff.supervision.max_retries = 1;
+  EXPECT_NE(fp, fleet_fingerprint(diff));
+  diff = base;
+  diff.supervision.tick_budget = 10;
+  EXPECT_NE(fp, fleet_fingerprint(diff));
+}
+
+TEST(Checkpoint, KillAndResumeIsBitIdenticalToUninterrupted) {
+  const TempFile file("resume.vckp");
+  FleetConfig fc = tiny_fleet(4);
+
+  const FleetResult uninterrupted = run_fleet(fc);
+
+  // Phase 1: killed after two newly finished slots (serial = exact).
+  fc.checkpoint_file = file.path();
+  fc.kill_after_slots = 2;
+  EXPECT_THROW((void)run_fleet(fc), FleetKilled);
+  {
+    const FleetCheckpoint ckpt = load_checkpoint(file.path());
+    EXPECT_EQ(ckpt.slot_count, 4u);
+    EXPECT_EQ(ckpt.records.size(), 2u);
+    EXPECT_EQ(ckpt.fingerprint, fleet_fingerprint(tiny_fleet(4)));
+  }
+
+  // Phase 2: resume the remaining slots; serial and parallel must both
+  // reproduce the uninterrupted fleet bit-for-bit.
+  fc.kill_after_slots = 0;
+  fc.checkpoint_file.clear();
+  fc.resume_file = file.path();
+  expect_fleet_identical(uninterrupted, run_fleet(fc));
+  fc.parallel_sessions = 4;
+  expect_fleet_identical(uninterrupted, run_fleet(fc));
+}
+
+TEST(Checkpoint, ResumeRestoresStoredSlotsVerbatim) {
+  // Doctor a stored result, re-save, resume: the doctored value must come
+  // back untouched — proof the restored slot is never recomputed.
+  const TempFile file("verbatim.vckp");
+  FleetConfig fc = tiny_fleet(3);
+  fc.checkpoint_file = file.path();
+  fc.kill_after_slots = 1;
+  EXPECT_THROW((void)run_fleet(fc), FleetKilled);
+
+  FleetCheckpoint ckpt = load_checkpoint(file.path());
+  ASSERT_EQ(ckpt.records.size(), 1u);
+  const std::uint32_t slot = ckpt.records[0].slot;
+  ckpt.records[0].result.custom_beam_uses = 987'654;
+  ckpt.records[0].outcome.attempts = 7;
+  save_checkpoint(ckpt, file.path());
+
+  fc.kill_after_slots = 0;
+  fc.checkpoint_file.clear();
+  fc.resume_file = file.path();
+  const FleetResult resumed = run_fleet(fc);
+  EXPECT_EQ(resumed.sessions[slot].custom_beam_uses, 987'654u);
+  EXPECT_EQ(resumed.outcomes[slot].attempts, 7u);
+}
+
+TEST(Checkpoint, ResumeRejectsAForeignConfiguration) {
+  const TempFile file("foreign.vckp");
+  FleetConfig fc = tiny_fleet(3);
+  fc.checkpoint_file = file.path();
+  fc.kill_after_slots = 1;
+  EXPECT_THROW((void)run_fleet(fc), FleetKilled);
+
+  FleetConfig other = tiny_fleet(3);
+  other.session.seed = 99;  // different workload, same shape
+  other.resume_file = file.path();
+  EXPECT_THROW((void)run_fleet(other), CheckpointError);
+}
+
+TEST(Checkpoint, ContinueInPlaceUsesOneFileForBothRoles) {
+  const TempFile file("inplace.vckp");
+  FleetConfig fc = tiny_fleet(3);
+  const FleetResult uninterrupted = run_fleet(fc);
+
+  fc.checkpoint_file = file.path();
+  fc.kill_after_slots = 1;
+  EXPECT_THROW((void)run_fleet(fc), FleetKilled);
+
+  fc.kill_after_slots = 0;
+  fc.resume_file = file.path();  // same file: checkpoint while resuming
+  expect_fleet_identical(uninterrupted, run_fleet(fc));
+  // The file now holds every slot; a second resume runs nothing new.
+  EXPECT_EQ(load_checkpoint(file.path()).records.size(), 3u);
+  expect_fleet_identical(uninterrupted, run_fleet(fc));
+}
+
+}  // namespace
+}  // namespace volcast::core

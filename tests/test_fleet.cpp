@@ -64,21 +64,6 @@ TEST(Fleet, SlotSeedIsTemplateSeedPlusIndex) {
             fleet.sessions[1].qoe.aggregate_goodput_mbps());
 }
 
-void expect_fleet_identical(const FleetResult& x, const FleetResult& y) {
-  ASSERT_EQ(x.sessions.size(), y.sessions.size());
-  for (std::size_t k = 0; k < x.sessions.size(); ++k)
-    expect_identical(x.sessions[k], y.sessions[k]);
-  EXPECT_EQ(x.total_users, y.total_users);
-  EXPECT_EQ(x.supported_users, y.supported_users);
-  EXPECT_BITEQ(x.mean_displayed_fps, y.mean_displayed_fps);
-  EXPECT_BITEQ(x.mean_stall_ratio, y.mean_stall_ratio);
-  EXPECT_BITEQ(x.mean_quality_tier, y.mean_quality_tier);
-  EXPECT_BITEQ(x.p5_displayed_fps, y.p5_displayed_fps);
-  EXPECT_BITEQ(x.p50_displayed_fps, y.p50_displayed_fps);
-  EXPECT_BITEQ(x.p95_displayed_fps, y.p95_displayed_fps);
-  EXPECT_BITEQ(x.p95_stall_time_s, y.p95_stall_time_s);
-}
-
 TEST(Fleet, BitIdenticalAcrossOuterParallelism) {
   FleetConfig fc = fast_fleet(3);
   fc.parallel_sessions = 1;  // fully serial reference

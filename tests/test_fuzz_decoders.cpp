@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/checkpoint.h"
 #include "pointcloud/codec.h"
 #include "pointcloud/octree_codec.h"
 #include "pointcloud/video_store.h"
@@ -264,6 +265,88 @@ TEST(FuzzDecoders, VideoStoreRejectsMismatchedGrid) {
   ASSERT_NE(other.cell_count(), fx.grid.cell_count());
   EXPECT_THROW((void)vv::VideoStore::deserialize(other, blob),
                std::runtime_error);
+}
+
+// --- fleet checkpoints -----------------------------------------------------
+
+core::FleetCheckpoint sample_fleet_checkpoint() {
+  core::FleetCheckpoint ckpt;
+  ckpt.fingerprint = 0xfeed'beef'cafe'd00dULL;
+  ckpt.slot_count = 8;
+  Rng rng(13);
+  for (std::uint32_t slot : {1u, 3u, 6u}) {
+    core::SlotRecord rec;
+    rec.slot = slot;
+    rec.outcome.status = core::SlotStatus::kCompleted;
+    rec.outcome.attempts = 1 + slot % 2;
+    rec.outcome.seed = 100 + slot;
+    rec.outcome.message = slot == 3 ? "recovered after one crash" : "";
+    rec.result.qoe.duration_s = 2.0;
+    for (int u = 0; u < 3; ++u) {
+      sim::UserQoe q;
+      q.user = static_cast<std::size_t>(u);
+      q.displayed_fps = rng.uniform(20.0, 30.0);
+      q.stall_time_s = rng.uniform(0.0, 0.5);
+      q.mean_goodput_mbps = rng.uniform(100.0, 900.0);
+      rec.result.qoe.users.push_back(q);
+    }
+    rec.result.custom_beam_uses = static_cast<std::size_t>(slot) * 11;
+    ckpt.records.push_back(rec);
+  }
+  return ckpt;
+}
+
+TEST(FuzzDecoders, CheckpointDetectsBitFlips) {
+  const auto blob = core::serialize_checkpoint(sample_fleet_checkpoint());
+  // Checksummed end to end: every flip must be rejected, typed.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    EXPECT_THROW(
+        (void)core::deserialize_checkpoint(corrupted(blob, seed, 1)),
+        core::CheckpointError);
+  }
+}
+
+TEST(FuzzDecoders, CheckpointDetectsInsertionsDeletionsTruncation) {
+  const auto blob = core::serialize_checkpoint(sample_fleet_checkpoint());
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    EXPECT_THROW((void)core::deserialize_checkpoint(
+                     with_insertions(blob, seed, 3)),
+                 core::CheckpointError);
+    EXPECT_THROW((void)core::deserialize_checkpoint(
+                     with_deletions(blob, seed, 3)),
+                 core::CheckpointError);
+  }
+  for (std::size_t keep = 0; keep < blob.size(); keep += 7) {
+    const std::vector<std::uint8_t> cut(
+        blob.begin(), blob.begin() + static_cast<long>(keep));
+    EXPECT_THROW((void)core::deserialize_checkpoint(cut),
+                 core::CheckpointError);
+  }
+}
+
+TEST(FuzzDecoders, CheckpointLengthFieldCorruptionFailsBoundedly) {
+  // Corrupt every byte in turn, re-seal the checksum so the structural
+  // validation stands alone, and require a typed rejection or a bounded
+  // successful parse — never a crash, hang or unbounded allocation.
+  const auto blob = core::serialize_checkpoint(sample_fleet_checkpoint());
+  for (std::size_t at = 0; at + 8 < blob.size(); ++at) {
+    for (std::uint8_t value : {std::uint8_t{0x00}, std::uint8_t{0x7f},
+                               std::uint8_t{0xff}}) {
+      std::vector<std::uint8_t> bad = blob;
+      bad[at] = value;
+      const std::uint64_t sum = core::checkpoint_checksum(
+          std::span<const std::uint8_t>(bad.data(), bad.size() - 8));
+      for (int i = 0; i < 8; ++i)
+        bad[bad.size() - 8 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(sum >> (8 * i));
+      try {
+        const core::FleetCheckpoint ckpt = core::deserialize_checkpoint(bad);
+        EXPECT_LE(ckpt.records.size(), bad.size());  // bounded output
+      } catch (const core::CheckpointError&) {
+        // Typed rejection is the expected common case.
+      }
+    }
+  }
 }
 
 // --- trace round trips -----------------------------------------------------

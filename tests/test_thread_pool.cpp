@@ -99,6 +99,74 @@ TEST(ThreadPool, SequentialBatchesReuseWorkers) {
   for (std::size_t s : sums) EXPECT_EQ(s, 4950u);
 }
 
+TEST(ThreadPool, ParallelTasksCoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{64}, std::size_t{500}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_tasks(n, [&](std::size_t i) { ++hits[i]; });
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n
+                                     << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelTasksRethrowsLowestFailedTask) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_tasks(32, [&](std::size_t i) {
+      if (i == 9 || i == 3) throw std::runtime_error("t@" + std::to_string(i));
+    });
+    FAIL() << "expected parallel_tasks to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "t@3");
+  }
+}
+
+TEST(ThreadPool, FailFastCancelsUnclaimedTasks) {
+  // Task 0 (claimed in the very first wave) throws immediately; the other
+  // tasks each burn a visible spin so the failure is recorded long before
+  // the queue could drain. At least one (in practice, almost all) of the
+  // remaining tasks must be cancelled instead of run.
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::atomic<std::size_t> executed{0};
+  try {
+    pool.parallel_tasks(n, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("die-first");
+      for (volatile int spin = 0; spin < 20'000; ++spin) {
+      }
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected parallel_tasks to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "die-first");
+  }
+  EXPECT_LT(executed.load(), n - 1) << "no task was cancelled after failure";
+
+  // The pool stays usable and a clean batch runs every index again.
+  std::vector<int> out(16, 0);
+  pool.parallel_tasks(out.size(), [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 16);
+}
+
+TEST(ThreadPool, SerialParallelTasksCancelImmediatelyOnThrow) {
+  // One lane = inline loop: everything after the throwing index must be
+  // skipped, exactly like a serial for loop.
+  ThreadPool pool(1);
+  std::size_t ran = 0;
+  EXPECT_THROW(pool.parallel_tasks(100,
+                                   [&](std::size_t i) {
+                                     if (i == 7)
+                                       throw std::runtime_error("stop");
+                                     ++ran;
+                                   }),
+               std::runtime_error);
+  EXPECT_EQ(ran, 7u);
+}
+
 TEST(ThreadPool, StaticRunFallsBackToSerialWithoutPool) {
   std::vector<int> hits(16, 0);
   ThreadPool::run(nullptr, hits.size(), [&](std::size_t i) { ++hits[i]; });

@@ -111,7 +111,7 @@ else:
         old = fleet_ref.get(e["sessions"])
         if not old:
             continue
-        for key in ("serial_s", "parallel_s"):
+        for key in ("serial_s", "parallel_s", "supervised_s"):
             if old.get(key, 0) >= 0.25:
                 ratio = e[key] / old[key]
                 if ratio > 1 + tol:

@@ -18,6 +18,7 @@
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "core/checkpoint.h"
 #include "core/fleet.h"
 #include "core/session.h"
 #include "fault/fault_plan.h"
@@ -141,6 +142,23 @@ int main(int argc, char** argv) {
                    "sessions simulated concurrently in fleet mode (0 = "
                    "hardware concurrency; results are bit-identical at any "
                    "value)");
+  flags.add_number("fleet-retries", 0,
+                   "retries per failed fleet slot with a deterministically "
+                   "derived seed (0 = first failure is final; deadline "
+                   "overruns are never retried)");
+  flags.add_number("fleet-tick-budget", 0,
+                   "logical per-session deadline in ticks; an overrunning "
+                   "slot is recorded as deadline-exceeded (0 = unlimited)");
+  flags.add_string("fleet-checkpoint", "",
+                   "rewrite this file with every finished slot (atomic "
+                   "replace); resume a killed run with --fleet-resume");
+  flags.add_string("fleet-resume", "",
+                   "restore finished slots from this checkpoint and run "
+                   "only the missing ones (bit-identical to an "
+                   "uninterrupted run)");
+  flags.add_number("fleet-kill-after", 0,
+                   "test hook: abort the fleet after N newly finished "
+                   "slots (simulates an operator kill; 0 = off)");
   flags.add_string("replay", "",
                    "directory of VCTRACE files (user0.trace, user1.trace, "
                    "...) to replay instead of synthetic mobility");
@@ -152,6 +170,10 @@ int main(int argc, char** argv) {
                    "fault plan seed (0 = reuse the experiment seed)");
   flags.add_number("chaos-intensity", 0.5,
                    "expected fault events per simulated second");
+  flags.add_number("chaos-crash", 0.0,
+                   "add a session-crash fault firing with this probability "
+                   "(0 = no crash fault; with --fleet, crashed slots are "
+                   "supervised instead of aborting the fleet)");
   flags.add_switch("per-user", "print the per-user QoE table");
   flags.add_string("timeline", "",
                    "write a per-tick CSV (t,user,buffer_s,tier,rss_dbm,"
@@ -243,6 +265,7 @@ int main(int argc, char** argv) {
     chaos.user_count = config.user_count;
     chaos.ap_count = config.ap_count;
     chaos.intensity = flags.num("chaos-intensity");
+    chaos.crash_probability = flags.num("chaos-crash");
     config.fault_plan = fault::random_plan(chaos);
     std::printf("%s", config.fault_plan.summary().c_str());
   }
@@ -257,11 +280,36 @@ int main(int argc, char** argv) {
     fc.session = config;
     fc.sessions = fleet_size;
     fc.parallel_sessions = flags.size("fleet-parallel");
+    fc.supervision.max_retries = flags.size("fleet-retries");
+    fc.supervision.tick_budget = flags.size("fleet-tick-budget");
+    fc.checkpoint_file = flags.str("fleet-checkpoint");
+    fc.resume_file = flags.str("fleet-resume");
+    fc.kill_after_slots = flags.size("fleet-kill-after");
+    if (!fc.resume_file.empty()) {
+      try {
+        const FleetCheckpoint ckpt = load_checkpoint(fc.resume_file);
+        std::printf("resuming: %zu of %u slots restored from %s\n",
+                    ckpt.records.size(), ckpt.slot_count,
+                    fc.resume_file.c_str());
+      } catch (const CheckpointError& e) {
+        return fail(std::string("checkpoint rejected: ") + e.what());
+      }
+    }
     FleetResult fleet;
     try {
       fleet = run_fleet(fc);
     } catch (const std::invalid_argument& e) {
       return fail(std::string("invalid configuration: ") + e.what());
+    } catch (const FleetKilled& e) {
+      std::fprintf(stderr, "volcast_sim: %s\n", e.what());
+      if (!fc.checkpoint_file.empty())
+        std::fprintf(stderr,
+                     "volcast_sim: checkpoint written to %s; resume with "
+                     "--fleet-resume=%s\n",
+                     fc.checkpoint_file.c_str(), fc.checkpoint_file.c_str());
+      return 3;
+    } catch (const CheckpointError& e) {
+      return fail(std::string("checkpoint rejected: ") + e.what());
     }
     std::printf("fleet: %zu sessions x %zu %s users (seeds %llu..%llu), "
                 "%.1f s each\n",
@@ -279,15 +327,37 @@ int main(int argc, char** argv) {
                 "%.2f\n",
                 fleet.mean_stall_ratio, fleet.p95_stall_time_s,
                 fleet.mean_quality_tier);
+    if (fleet.aborted_slots > 0 || fleet.retried_slots > 0) {
+      std::printf("supervision: %zu of %zu slots aborted | %zu "
+                  "quarantined | %zu completed after retry\n",
+                  fleet.aborted_slots, fc.sessions,
+                  fleet.quarantined_slots, fleet.retried_slots);
+      for (std::size_t k = 0; k < fleet.outcomes.size(); ++k) {
+        const SlotOutcome& o = fleet.outcomes[k];
+        if (o.status == SlotStatus::kCompleted && o.attempts == 1) continue;
+        std::printf("  slot %zu: %s (%s, %u attempt(s)%s)%s%s\n", k,
+                    to_string(o.status), to_string(o.error_class),
+                    o.attempts,
+                    o.backoff_ticks > 0
+                        ? (", backoff " + std::to_string(o.backoff_ticks) +
+                           " ticks").c_str()
+                        : "",
+                    o.message.empty() ? "" : ": ",
+                    o.message.c_str());
+      }
+    }
     if (flags.on("per-user")) {
       AsciiTable table;
-      table.header({"session", "mean fps", "min fps", "stall s", "tier"});
+      table.header({"session", "status", "mean fps", "min fps", "stall s",
+                    "tier"});
       for (std::size_t k = 0; k < fleet.sessions.size(); ++k) {
         const auto& qoe = fleet.sessions[k].qoe;
-        table.row({std::to_string(k), AsciiTable::num(qoe.mean_fps(), 1),
-                   AsciiTable::num(qoe.min_fps(), 1),
-                   AsciiTable::num(qoe.total_stall_s(), 2),
-                   AsciiTable::num(qoe.mean_quality_tier(), 2)});
+        const bool ok = fleet.outcomes[k].status == SlotStatus::kCompleted;
+        table.row({std::to_string(k), to_string(fleet.outcomes[k].status),
+                   ok ? AsciiTable::num(qoe.mean_fps(), 1) : "-",
+                   ok ? AsciiTable::num(qoe.min_fps(), 1) : "-",
+                   ok ? AsciiTable::num(qoe.total_stall_s(), 2) : "-",
+                   ok ? AsciiTable::num(qoe.mean_quality_tier(), 2) : "-"});
       }
       std::printf("%s", table.render().c_str());
     }
@@ -319,6 +389,16 @@ int main(int argc, char** argv) {
     result = session.run();
   } catch (const std::invalid_argument& e) {
     return fail(std::string("invalid configuration: ") + e.what());
+  } catch (const fault::SessionCrashFault& e) {
+    std::fprintf(stderr,
+                 "volcast_sim: session crashed (injected fault): %s\n"
+                 "volcast_sim: run under --fleet for supervised retry and "
+                 "checkpointing\n",
+                 e.what());
+    return 2;
+  } catch (const DeadlineExceeded& e) {
+    std::fprintf(stderr, "volcast_sim: %s\n", e.what());
+    return 2;
   }
   if (timeline.is_open())
     std::printf("timeline written to %s\n", timeline_path.c_str());

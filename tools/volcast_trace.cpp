@@ -112,11 +112,22 @@ int summarize(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad()) {
+    std::fprintf(stderr, "volcast_trace: read error on %s\n", path.c_str());
+    return 1;
+  }
   std::vector<obs::JsonRecord> records;
   try {
     records = obs::parse_jsonl(buffer.str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "volcast_trace: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  if (records.empty()) {
+    std::fprintf(stderr,
+                 "volcast_trace: %s holds no telemetry records (empty or "
+                 "not a --telemetry log)\n",
+                 path.c_str());
     return 1;
   }
 
