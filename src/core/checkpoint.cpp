@@ -117,6 +117,21 @@ void put_session_result(std::vector<std::uint8_t>& out,
   put_u64(out, static_cast<std::uint64_t>(f.degraded_user_ticks));
   put_u64(out, static_cast<std::uint64_t>(f.unhealthy_user_ticks));
   put_u64(out, static_cast<std::uint64_t>(f.health_transitions));
+  const transport::TransportReport& w = r.transport;
+  put_u64(out, w.trains);
+  put_u64(out, w.tiles);
+  put_u64(out, w.data_packets);
+  put_u64(out, w.parity_packets);
+  put_u64(out, w.lost_packets);
+  put_u64(out, w.retransmitted_packets);
+  put_u64(out, w.nacks);
+  put_u64(out, w.fec_recovered_tiles);
+  put_u64(out, w.nack_recovered_tiles);
+  put_u64(out, w.deadline_missed_tiles);
+  put_f64(out, w.residual_loss_mean);
+  put_f64(out, w.recovery_ms_p50);
+  put_f64(out, w.recovery_ms_p99);
+  put_f64(out, w.recovery_ms_max);
 }
 
 SessionResult read_session_result(Reader& in) {
@@ -169,6 +184,21 @@ SessionResult read_session_result(Reader& in) {
   f.degraded_user_ticks = static_cast<std::size_t>(in.u64());
   f.unhealthy_user_ticks = static_cast<std::size_t>(in.u64());
   f.health_transitions = static_cast<std::size_t>(in.u64());
+  transport::TransportReport& w = r.transport;
+  w.trains = in.u64();
+  w.tiles = in.u64();
+  w.data_packets = in.u64();
+  w.parity_packets = in.u64();
+  w.lost_packets = in.u64();
+  w.retransmitted_packets = in.u64();
+  w.nacks = in.u64();
+  w.fec_recovered_tiles = in.u64();
+  w.nack_recovered_tiles = in.u64();
+  w.deadline_missed_tiles = in.u64();
+  w.residual_loss_mean = in.f64();
+  w.recovery_ms_p50 = in.f64();
+  w.recovery_ms_p99 = in.f64();
+  w.recovery_ms_max = in.f64();
   return r;
 }
 
@@ -258,6 +288,15 @@ std::uint64_t fleet_fingerprint(const FleetConfig& config) {
     h.str(slot);
     h.str(name);
   }
+  h.u64(s.transport.mtu_bytes);
+  h.u64(s.transport.tile_bytes);
+  h.u64(static_cast<std::uint64_t>(s.transport.fec_group_data));
+  h.u64(static_cast<std::uint64_t>(s.transport.fec_group_parity));
+  h.u64(static_cast<std::uint64_t>(s.transport.nack_rounds));
+  h.f64(s.transport.nack_rtt_ms);
+  h.f64(s.transport.target_per);
+  h.f64(s.transport.burst_enter);
+  h.f64(s.transport.burst_exit);
   h.u64(s.fault_plan.size());
   for (const fault::FaultEvent& e : s.fault_plan.events()) {
     h.f64(e.t_s);

@@ -36,7 +36,8 @@
 namespace volcast::core {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x504b4356u;  // "VCKP"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: SessionResult gained the packet-wire TransportReport block.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Typed rejection of an unusable checkpoint (corrupt, truncated, foreign
 /// version, or produced by a different fleet configuration).

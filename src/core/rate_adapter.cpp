@@ -79,6 +79,17 @@ AdaptationDecision RateAdapter::decide_impl(
       }
       out.tier = std::min(out.tier, top);
 
+      // Residual loss after FEC: the wire is telling us the parity budget
+      // is exhausted. Block upgrades first; past the shed threshold, drop
+      // a tier so frames shrink back under what FEC can repair. Exact
+      // no-op at residual_loss == 0.
+      if (input.residual_loss > config_.loss_hold &&
+          out.tier > input.current_tier)
+        out.tier = input.current_tier;
+      if (input.residual_loss > config_.loss_shed && out.tier > 0 &&
+          out.tier >= input.current_tier)
+        out.tier = input.current_tier > 0 ? input.current_tier - 1 : 0;
+
       if (input.blockage_forecast) {
         // Proactive reactions (Section 4.1 / 4.3): pull content forward
         // before the rate collapses, consider a reflection beam, and let

@@ -25,6 +25,11 @@ struct AdaptationInput {
   std::size_t tier_count = 3;
   std::size_t current_tier = 0;
   bool blockage_forecast = false;
+  /// Residual packet loss after FEC (EWMA from the transport wire): the
+  /// cross-layer signal that the link is losing more than the parity can
+  /// absorb. 0 (the default, and always under the goodput transport
+  /// policy) leaves every decision exactly as before the wire existed.
+  double residual_loss = 0.0;
 };
 
 /// Output decision for one user.
@@ -52,6 +57,12 @@ struct RateAdapterConfig {
   /// Upgrade only when predicted bandwidth exceeds the next tier's demand
   /// by this safety factor.
   double headroom = 1.15;
+  /// Residual-loss thresholds (cross-layer policy only): above
+  /// `loss_hold`, upgrades are blocked — retransmissions are already
+  /// eating the headroom; above `loss_shed`, drop one tier immediately so
+  /// the smaller frames fit under the FEC budget again.
+  double loss_hold = 0.02;
+  double loss_shed = 0.08;
   /// Optional telemetry sink: decision / upgrade / downgrade / prefetch
   /// counters (atomic bumps — decisions are unaffected). The registry must
   /// outlive the adapter; decide() stays safe from parallel lanes.

@@ -5,6 +5,7 @@
 // that updates AP availability, and the result finalization.
 #include "core/session.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -70,6 +71,11 @@ void SessionConfig::validate() const {
     }
   }
   fault_plan.validate(user_count, ap_count);
+  try {
+    transport.validate();
+  } catch (const std::invalid_argument& bad) {
+    throw std::invalid_argument(std::string("SessionConfig: ") + bad.what());
+  }
 }
 
 struct Session::Impl {
@@ -204,6 +210,22 @@ SessionResult Session::Impl::run() {
     state.freport.max_time_to_recover_s = ttr.max();
   }
   result.faults = state.freport;
+  // Wire totals + NACK recovery-latency percentiles. The samples were
+  // appended in serial delivery order, so the sort (and everything after
+  // it) is identical at any worker_threads value.
+  if (!state.recovery_samples.empty()) {
+    std::vector<double> sorted = state.recovery_samples;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      const std::size_t i = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[std::min(i, sorted.size() - 1)];
+    };
+    state.twire.recovery_ms_p50 = at(0.50);
+    state.twire.recovery_ms_p99 = at(0.99);
+    state.twire.recovery_ms_max = sorted.back();
+  }
+  result.transport = state.twire;
   return result;
 }
 

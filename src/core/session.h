@@ -32,6 +32,7 @@
 #include "fault/health.h"
 #include "sim/qoe.h"
 #include "trace/mobility.h"
+#include "transport/wire.h"
 
 namespace volcast::obs {
 class Telemetry;
@@ -149,6 +150,12 @@ struct SessionConfig {
   /// budget: values at or above duration_s * fps change nothing.
   std::size_t tick_budget = 0;
 
+  /// Packet-wire knobs (MTU, FEC group shape, NACK budget); consulted only
+  /// when the transport policy is fec/nack/hybrid — the default "mac"
+  /// policy never packetizes and ignores these entirely. See
+  /// transport/wire.h.
+  transport::TransportConfig transport{};
+
   /// Timed fault events injected into the run (empty = no faults; the
   /// session then behaves bit-identically to a build without the fault
   /// subsystem). See fault/fault_plan.h.
@@ -177,8 +184,14 @@ struct SessionResult {
   std::size_t sls_sweeps = 0;         // reactive beam searches performed
   std::size_t sls_outage_ticks = 0;   // user-ticks spent sweeping (no data)
   double mean_airtime_utilization = 0.0;  // scheduled airtime / wall time
-  /// Fault-injection recovery metrics (all zero with an empty FaultPlan).
+  /// Fault-injection recovery metrics (all zero with an empty FaultPlan
+  /// and the default transport policy; wire policies also count frames the
+  /// packet wire failed to recover as concealed/skipped here).
   fault::FaultReport faults;
+  /// Packet-wire totals (all zero under the default goodput transport
+  /// policy): packets sent/lost, FEC and NACK recoveries, deadline misses,
+  /// residual loss after FEC, recovery-latency percentiles.
+  transport::TransportReport transport;
 };
 
 /// Runs one configured session; construction precomputes the video store.

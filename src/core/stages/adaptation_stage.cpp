@@ -42,6 +42,10 @@ void AdaptationStage::run(SessionState& state, TickContext& ctx) {
     in.tier_count = state.store.tier_count();
     in.current_tier = users[u].tier;
     in.blockage_forecast = users[u].blockage_forecast;
+    // Cross-layer wire feedback: residual loss after FEC, written by the
+    // transport stage's serial delivery loop last tick (0 under the
+    // goodput policy, so this is a no-op there).
+    in.residual_loss = users[u].receiver.residual_loss;
     for (std::size_t q = 0; q < state.store.tier_count() && q < 3; ++q) {
       in.demand_mbps[q] = bits_to_megabits(
           visible_bits(ctx.prediction.visibility[u], state.store,

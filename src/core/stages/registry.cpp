@@ -60,6 +60,16 @@ PolicyRegistry::PolicyRegistry() {
   });
   add(StageKind::kTransport, "mac",
       [](const SessionConfig&) { return std::make_unique<TransportStage>(); });
+  add(StageKind::kTransport, "fec", [](const SessionConfig&) {
+    return std::make_unique<TransportStage>(transport::TransportPolicy::kFec);
+  });
+  add(StageKind::kTransport, "nack", [](const SessionConfig&) {
+    return std::make_unique<TransportStage>(transport::TransportPolicy::kNack);
+  });
+  add(StageKind::kTransport, "hybrid", [](const SessionConfig&) {
+    return std::make_unique<TransportStage>(
+        transport::TransportPolicy::kHybrid);
+  });
 }
 
 PolicyRegistry& PolicyRegistry::instance() {

@@ -74,6 +74,9 @@ struct SessionState {
     int probe_backoff_next = 1;
     bool was_stuck = false;
     geo::Vec3 stuck_pos{};
+    // Packet-wire receiver (sequence numbers, burst-chain state,
+    // residual-loss EWMA). Mutated only inside the serial delivery loop.
+    transport::ReceiverState receiver;
   };
   std::vector<User> users;
 
@@ -100,6 +103,11 @@ struct SessionState {
   std::size_t sls_sweeps = 0;
   std::size_t sls_outage_ticks = 0;
   double scheduled_airtime = 0.0;
+  // Packet-wire totals (zero under the goodput policy) and the NACK
+  // recovery-latency samples the result finalizer turns into percentiles.
+  // Both are appended only from the serial delivery loop, in slot order.
+  transport::TransportReport twire;
+  std::vector<double> recovery_samples;
 
   // Telemetry (null = disabled; every hook is one pointer test).
   obs::Telemetry* tel = nullptr;

@@ -8,6 +8,7 @@
 #include "core/stages/session_state.h"
 #include "core/stages/tick_context.h"
 #include "mmwave/link.h"
+#include "mmwave/per.h"
 
 namespace volcast::core {
 
@@ -22,6 +23,8 @@ void TransportStage::run(SessionState& state, TickContext& ctx) {
   obs::Telemetry* tel = state.tel;
   auto& users = state.users;
   const auto absent = [&](std::size_t u) { return state.absent(u); };
+  const bool use_wire = policy_ != transport::TransportPolicy::kGoodput;
+  const mmwave::PerModel per_model{};
 
   ctx.app_sample_mbps.assign(n, 0.0);
   auto& app_sample_mbps = ctx.app_sample_mbps;
@@ -74,6 +77,81 @@ void TransportStage::run(SessionState& state, TickContext& ctx) {
         }
         users[u].delivered_bits += bits;
         const std::size_t tier = users[u].tier;
+        // Packet wire: the scheduled bits become a packet train with
+        // per-user loss from the shared transmission, FEC repair, and
+        // NACK rounds racing the frame deadline. Runs inside this serial
+        // member loop, so the per-user receiver state folds in slot order
+        // at any worker_threads value.
+        transport::TrainResult train;
+        bool wire_ok = true;
+        if (use_wire && bits > 0.0) {
+          transport::TrainParams tp;
+          tp.frame_bits = bits;
+          tp.per = per_model.multicast_residual_per(
+              *state.mcs, ctx.unicast_rss[u], config.transport.target_per);
+          tp.burst_loss =
+              state.has_faults ? state.injector.burst_loss_probability(u)
+                               : 0.0;
+          tp.deadline_ms =
+              std::max(0.0, 1000.0 / config.fps - transfer_s * 1000.0);
+          tp.seed = config.seed;
+          tp.user = u;
+          tp.tick = tick32;
+          tp.frame = static_cast<std::uint16_t>(frame);
+          train = transport::transmit_train(config.transport, policy_, tp,
+                                            users[u].receiver);
+          state.twire.add(train);
+          if (train.recovery_ms > 0.0)
+            state.recovery_samples.push_back(train.recovery_ms);
+          wire_ok = train.frame_ok();
+          // Parity, retransmissions and headers are real bits on the air:
+          // they consume airtime on top of the scheduled frame.
+          const double wire_rate = demand.unicast_rate_mbps > 0.0
+                                       ? demand.unicast_rate_mbps
+                                       : plan.multicast_rate_mbps;
+          if (wire_rate > 0.0) {
+            const double extra_air = tx_time_s(
+                train.parity_bits + train.retransmit_bits + train.header_bits,
+                wire_rate);
+            state.scheduled_airtime += extra_air;
+            state.backlog[a] += extra_air;
+          }
+          if (tel != nullptr) {
+            obs::MetricRegistry& metrics = tel->metrics();
+            metrics.counter("transport.packets_sent")
+                .add(train.data_packets);
+            metrics.counter("transport.parity_packets")
+                .add(train.parity_packets);
+            metrics.counter("transport.packets_lost").add(train.lost_packets);
+            metrics.counter("transport.retransmitted_packets")
+                .add(train.retransmitted_packets);
+            metrics.counter("transport.fec_recovered_tiles")
+                .add(train.fec_recovered_tiles);
+            metrics.counter("transport.deadline_missed_tiles")
+                .add(train.failed_tiles);
+            const auto u32 = static_cast<std::uint32_t>(u);
+            const auto record = [&](obs::EventType type, double value) {
+              obs::Event e;
+              e.tick = tick32;
+              e.layer = obs::Layer::kMac;
+              e.type = type;
+              e.user = u32;
+              e.ap = ap32;
+              e.value = value;
+              e.has_value = true;
+              tel->record_event(e);
+            };
+            if (train.fec_recovered_tiles > 0)
+              record(obs::EventType::kFecRecovery,
+                     static_cast<double>(train.fec_recovered_tiles));
+            if (train.retransmitted_packets > 0)
+              record(obs::EventType::kRetransmit,
+                     static_cast<double>(train.retransmitted_packets));
+            if (train.failed_tiles > 0)
+              record(obs::EventType::kDeadlineMiss,
+                     static_cast<double>(train.failed_tiles));
+          }
+        }
         // The frame is playable only after the client decodes it.
         double visible_points = 0.0;
         for (vv::CellId cell = 0; cell < state.grid.cell_count(); ++cell) {
@@ -92,11 +170,15 @@ void TransportStage::run(SessionState& state, TickContext& ctx) {
                                          config.duration_s);
           users[u].decode_free_at = std::max(users[u].decode_free_at, resume);
         }
+        // NACK recovery delays when the frame is complete at the receiver.
+        const double user_delivery = delivery_time + train.recovery_ms * 1e-3;
         users[u].decode_free_at =
-            std::max(users[u].decode_free_at, delivery_time) + decode_time;
+            std::max(users[u].decode_free_at, user_delivery) + decode_time;
         users[u].m2p.add(users[u].decode_free_at - t);
-        if (state.has_faults && state.injector.frame_lost(u, tick)) {
-          // Corrupted on the air interface: the airtime was spent but
+        if ((state.has_faults && state.injector.frame_lost(u, tick)) ||
+            !wire_ok) {
+          // Corrupted on the air interface — or tiles the wire could not
+          // recover before the frame deadline: the airtime was spent but
           // nothing playable arrives. Conceal by holding the last
           // decoded frame (bounded), else the frame is skipped.
           state.queue.schedule_at(users[u].decode_free_at, [&state, u]() {

@@ -18,6 +18,7 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kFrameLoss: return "frame-loss";
     case FaultKind::kDecoderStall: return "decoder-stall";
     case FaultKind::kSessionCrash: return "session-crash";
+    case FaultKind::kBurstLoss: return "burst-loss";
   }
   return "unknown";
 }
@@ -43,6 +44,7 @@ void FaultPlan::validate(std::size_t user_count, std::size_t ap_count) const {
           throw std::invalid_argument(where + "AP index out of range");
         break;
       case FaultKind::kFrameLoss:
+      case FaultKind::kBurstLoss:
         if (e.target != kAllUsers && e.target >= user_count)
           throw std::invalid_argument(where + "user index out of range");
         if (e.magnitude < 0.0 || e.magnitude > 1.0)
@@ -75,7 +77,9 @@ std::string FaultPlan::summary() const {
   out << "fault plan: " << events_.size() << " event(s)\n";
   for (const FaultEvent& e : events_) {
     out << "  t=" << e.t_s << "s " << to_string(e.kind);
-    if (e.kind == FaultKind::kFrameLoss && e.target == kAllUsers) {
+    if ((e.kind == FaultKind::kFrameLoss ||
+         e.kind == FaultKind::kBurstLoss) &&
+        e.target == kAllUsers) {
       out << " target=all";
     } else {
       out << " target=" << e.target;
@@ -85,7 +89,8 @@ std::string FaultPlan::summary() const {
     } else {
       out << " (permanent)";
     }
-    if (e.kind == FaultKind::kFrameLoss) out << " p=" << e.magnitude;
+    if (e.kind == FaultKind::kFrameLoss || e.kind == FaultKind::kBurstLoss)
+      out << " p=" << e.magnitude;
     if (e.kind == FaultKind::kSessionCrash)
       out << " p=" << (e.magnitude > 0.0 ? e.magnitude : 1.0);
     if (e.kind == FaultKind::kObstacleSpawn)
@@ -168,6 +173,21 @@ FaultPlan random_plan(const ChaosConfig& config) {
     e.target = static_cast<std::size_t>(crash_rng.uniform_int(0, 1023));
     e.magnitude = std::min(config.crash_probability, 1.0);
     plan.add(e);
+  }
+  if (config.burst_loss_probability > 0.0) {
+    // Separate stream again: plans with the knob off keep their exact
+    // pre-burst-loss bytes. Two correlated-loss windows covering all users
+    // — short enough to recover from, long enough to span many trains.
+    Rng burst_rng(config.seed ^ 0xb1257ULL);
+    for (int i = 0; i < 2; ++i) {
+      FaultEvent e;
+      e.kind = FaultKind::kBurstLoss;
+      e.target = kAllUsers;
+      e.t_s = start + burst_rng.uniform(0.0, std::max(end - start, 1e-3));
+      e.duration_s = burst_rng.uniform(0.5, 1.5);
+      e.magnitude = std::min(config.burst_loss_probability, 1.0);
+      plan.add(e);
+    }
   }
   return plan;
 }

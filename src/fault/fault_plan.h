@@ -32,11 +32,15 @@ enum class FaultKind {
   kFrameLoss,      // user frames corrupt/lost with probability `magnitude`
   kDecoderStall,   // user `target`'s decoder is frozen while active
   kSessionCrash,   // whole session process dies at onset (see below)
+  kBurstLoss,      // correlated packet loss: while active, the transport
+                   // wire's Gilbert–Elliott chain drops packets with
+                   // probability `magnitude` in the bad state (kAllUsers
+                   // supported; inert under the goodput transport policy)
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
 
-/// `target` value meaning "every user" (kFrameLoss only).
+/// `target` value meaning "every user" (kFrameLoss and kBurstLoss).
 inline constexpr std::size_t kAllUsers =
     std::numeric_limits<std::size_t>::max();
 
@@ -47,7 +51,8 @@ struct FaultEvent {
   std::size_t target = 0;   // AP index or user index depending on kind
   /// Active window; <= 0 means "until the end of the session".
   double duration_s = 0.0;
-  /// Kind-specific knob: loss probability in [0, 1] for kFrameLoss,
+  /// Kind-specific knob: loss probability in [0, 1] for kFrameLoss and
+  /// kBurstLoss (bad-state packet loss),
   /// obstacle radius in meters for kObstacleSpawn (0 = default 0.4 m),
   /// crash probability in [0, 1] for kSessionCrash (0 = certain crash).
   double magnitude = 0.0;
@@ -112,6 +117,10 @@ struct ChaosConfig {
   /// stream, so plans with crash_probability == 0 are byte-identical to
   /// pre-crash-fault chaos plans.
   double crash_probability = 0.0;
+  /// When > 0, the plan additionally carries correlated burst-loss windows
+  /// (kBurstLoss, all users) with this bad-state packet-loss probability.
+  /// Also a separate RNG stream, for the same byte-stability reason.
+  double burst_loss_probability = 0.0;
 };
 
 /// Generates a random-but-deterministic plan: same ChaosConfig, same plan.

@@ -32,7 +32,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::size_t user_count,
       probe_fail_(user_count, false),
       sector_stuck_(user_count, false),
       stall_until_(user_count, 0.0),
-      loss_p_(user_count, 0.0) {}
+      loss_p_(user_count, 0.0),
+      burst_p_(user_count, 0.0) {}
 
 std::size_t FaultInjector::advance(double t) {
   bool changed = false;
@@ -84,6 +85,7 @@ void FaultInjector::rebuild_flags() {
   std::fill(sector_stuck_.begin(), sector_stuck_.end(), false);
   std::fill(stall_until_.begin(), stall_until_.end(), 0.0);
   std::fill(loss_p_.begin(), loss_p_.end(), 0.0);
+  std::fill(burst_p_.begin(), burst_p_.end(), 0.0);
   obstacles_.clear();
   for (const Active& a : active_) {
     const FaultEvent& e = a.event;
@@ -119,6 +121,13 @@ void FaultInjector::rebuild_flags() {
         obstacles_.push_back(obstacle);
         break;
       }
+      case FaultKind::kBurstLoss:
+        if (e.target == kAllUsers) {
+          for (double& p : burst_p_) p = std::max(p, e.magnitude);
+        } else if (e.target < user_count_) {
+          burst_p_[e.target] = std::max(burst_p_[e.target], e.magnitude);
+        }
+        break;
       case FaultKind::kSessionCrash:
         break;  // never enters the active set (handled in advance())
     }
@@ -145,6 +154,9 @@ double FaultInjector::decoder_stall_until(std::size_t user) const {
 }
 double FaultInjector::frame_loss_probability(std::size_t user) const {
   return user < user_count_ ? loss_p_[user] : 0.0;
+}
+double FaultInjector::burst_loss_probability(std::size_t user) const {
+  return user < user_count_ ? burst_p_[user] : 0.0;
 }
 
 bool FaultInjector::frame_lost(std::size_t user, std::size_t tick) const {

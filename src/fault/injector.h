@@ -50,6 +50,10 @@ class FaultInjector {
   [[nodiscard]] double decoder_stall_until(std::size_t user) const;
   /// Active frame-loss probability for the user (max over active events).
   [[nodiscard]] double frame_loss_probability(std::size_t user) const;
+  /// Active correlated burst-loss probability (kBurstLoss, max over active
+  /// events): the bad-state packet-loss probability of the transport
+  /// wire's Gilbert–Elliott chain. 0 when no burst fault is active.
+  [[nodiscard]] double burst_loss_probability(std::size_t user) const;
   /// Deterministic per-(user, tick) loss draw against the active
   /// probability; false when no frame-loss fault is active.
   [[nodiscard]] bool frame_lost(std::size_t user, std::size_t tick) const;
@@ -85,6 +89,7 @@ class FaultInjector {
   std::vector<bool> sector_stuck_;
   std::vector<double> stall_until_;
   std::vector<double> loss_p_;
+  std::vector<double> burst_p_;
   std::vector<geo::BodyObstacle> obstacles_;
 };
 

@@ -37,4 +37,20 @@ double PerModel::multicast_goodput_mbps(const McsTable& table,
   return best;
 }
 
+double PerModel::multicast_residual_per(const McsTable& table, double rss_dbm,
+                                        double target_per) const noexcept {
+  const double backed_off = rss_dbm - multicast_backoff_db;
+  double best_rate = 0.0;
+  double residual = target_per;
+  for (const McsEntry& entry : table.entries()) {
+    if (entry.index < 1) continue;
+    if (per(backed_off, entry) <= target_per &&
+        entry.phy_rate_mbps > best_rate) {
+      best_rate = entry.phy_rate_mbps;
+      residual = per(rss_dbm, entry);
+    }
+  }
+  return residual;
+}
+
 }  // namespace volcast::mmwave

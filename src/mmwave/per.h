@@ -35,6 +35,16 @@ struct PerModel {
   [[nodiscard]] double multicast_goodput_mbps(
       const McsTable& table, double rss_dbm,
       double target_per = 0.01) const noexcept;
+
+  /// Residual per-packet error rate of that same multicast MCS choice: the
+  /// PER (at the *un*-backed-off RSS) of the entry multicast_goodput_mbps
+  /// selects. This is what a packet-level wire should use as its base loss
+  /// probability — at or below `target_per` by construction, not the ~50%
+  /// cliff value of the marginal unicast MCS. Returns `target_per` when no
+  /// MCS qualifies (the link carries nothing then anyway).
+  [[nodiscard]] double multicast_residual_per(
+      const McsTable& table, double rss_dbm,
+      double target_per = 0.01) const noexcept;
 };
 
 }  // namespace volcast::mmwave

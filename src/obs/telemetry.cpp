@@ -71,6 +71,9 @@ const char* to_string(EventType type) noexcept {
     case EventType::kOutage: return "outage";
     case EventType::kDroppedTick: return "dropped_tick";
     case EventType::kGroupFormed: return "group_formed";
+    case EventType::kFecRecovery: return "fec_recovery";
+    case EventType::kRetransmit: return "retransmit";
+    case EventType::kDeadlineMiss: return "deadline_miss";
   }
   return "unknown";
 }

@@ -74,6 +74,9 @@ enum class EventType : std::uint8_t {
   kOutage,              // user (no delivery path this tick)
   kDroppedTick,         // ap (air queue over budget)
   kGroupFormed,         // ap, group index, value = member count
+  kFecRecovery,         // user, value = tiles FEC rebuilt this train
+  kRetransmit,          // user, value = packets retransmitted this train
+  kDeadlineMiss,        // user, value = tiles past the frame deadline
 };
 [[nodiscard]] const char* to_string(EventType type) noexcept;
 

@@ -1,0 +1,71 @@
+#include "transport/fec.h"
+
+#include <algorithm>
+
+namespace volcast::transport::fec {
+
+namespace {
+
+void xor_into(std::vector<std::uint8_t>& acc,
+              const std::vector<std::uint8_t>& src) {
+  if (acc.size() < src.size()) acc.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) acc[i] ^= src[i];
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> make_parity(
+    const std::vector<std::vector<std::uint8_t>>& data, int r) {
+  if (r <= 0 || data.empty()) return {};
+  std::vector<std::vector<std::uint8_t>> parity(static_cast<std::size_t>(r));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    xor_into(parity[i % static_cast<std::size_t>(r)], data[i]);
+  return parity;
+}
+
+bool recoverable(const std::vector<bool>& data_arrived,
+                 const std::vector<bool>& parity_arrived) {
+  const std::size_t r = parity_arrived.size();
+  // No parity: recoverable only when nothing was lost.
+  if (r == 0)
+    return std::all_of(data_arrived.begin(), data_arrived.end(),
+                       [](bool b) { return b; });
+  std::vector<int> stripe_losses(r, 0);
+  for (std::size_t i = 0; i < data_arrived.size(); ++i)
+    if (!data_arrived[i]) ++stripe_losses[i % r];
+  for (std::size_t j = 0; j < r; ++j) {
+    if (stripe_losses[j] > 1) return false;
+    if (stripe_losses[j] == 1 && !parity_arrived[j]) return false;
+  }
+  return true;
+}
+
+int count_recoverable(const std::vector<bool>& data_arrived,
+                      const std::vector<bool>& parity_arrived) {
+  const std::size_t r = parity_arrived.size();
+  if (r == 0) return 0;
+  std::vector<int> stripe_losses(r, 0);
+  for (std::size_t i = 0; i < data_arrived.size(); ++i)
+    if (!data_arrived[i]) ++stripe_losses[i % r];
+  int recovered = 0;
+  for (std::size_t j = 0; j < r; ++j)
+    if (stripe_losses[j] == 1 && parity_arrived[j]) ++recovered;
+  return recovered;
+}
+
+std::vector<std::uint8_t> recover(
+    const std::vector<std::vector<std::uint8_t>>& data,
+    const std::vector<std::vector<std::uint8_t>>& parity, int lost_index,
+    std::size_t original_len) {
+  const std::size_t r = parity.size();
+  const std::size_t stripe = static_cast<std::size_t>(lost_index) % r;
+  std::vector<std::uint8_t> acc = parity[stripe];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (static_cast<int>(i) == lost_index) continue;
+    if (i % r == stripe) xor_into(acc, data[i]);
+  }
+  acc.resize(original_len, 0);
+  return acc;
+}
+
+}  // namespace volcast::transport::fec

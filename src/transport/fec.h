@@ -1,0 +1,62 @@
+// Striped XOR forward error correction over a packet train.
+//
+// A tile's data packets are split into FEC groups of `k` data packets
+// protected by `r` parity packets. Parity `j` is the XOR of the data
+// packets whose in-group index satisfies `i % r == j` (a "stripe"), so the
+// group survives up to `r` losses provided no stripe loses more than one
+// data packet and the stripe's parity arrived. This is the classic
+// interleaved-XOR construction used by live-video multicast systems: it
+// turns short loss bursts (which land in distinct stripes) into fully
+// recoverable events at a fixed `r/k` overhead.
+//
+// Two layers of API:
+//  - `recoverable()` / `count_recoverable()` answer the *erasure pattern*
+//    question from booleans alone — this is what the simulated wire uses,
+//    because the sim never materialises payload bytes per packet.
+//  - `make_parity()` / `recover()` operate on real byte payloads and are
+//    exercised by the unit tests to pin the algebra (parity really is the
+//    stripe XOR, recovery really reproduces the lost payload).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace volcast::transport::fec {
+
+/// Parameters of one FEC group.
+struct GroupParams {
+  int k = 0;  // data packets in the group
+  int r = 0;  // parity packets in the group
+};
+
+/// Builds the `r` parity payloads for a group of `k` data payloads.
+/// Shorter data packets are zero-padded to the longest stripe member, so
+/// parity `j` has the length of the longest packet in stripe `j`.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> make_parity(
+    const std::vector<std::vector<std::uint8_t>>& data, int r);
+
+/// Given per-packet arrival booleans (`data_arrived.size() == k`,
+/// `parity_arrived.size() == r`), returns true iff every lost data packet
+/// can be reconstructed: each stripe lost at most one data packet and that
+/// stripe's parity arrived.
+[[nodiscard]] bool recoverable(const std::vector<bool>& data_arrived,
+                               const std::vector<bool>& parity_arrived);
+
+/// Number of lost data packets that the parity can reconstruct under the
+/// stripe rule (each stripe repairs at most one loss, and only when its
+/// parity arrived). Lost packets in over-subscribed or parity-less stripes
+/// are not counted.
+[[nodiscard]] int count_recoverable(const std::vector<bool>& data_arrived,
+                                    const std::vector<bool>& parity_arrived);
+
+/// Reconstructs the single lost data packet of stripe `lost_index % r` by
+/// XOR-ing the stripe's parity with its surviving data packets. `data`
+/// holds the group's packets with the lost one empty at `lost_index`;
+/// `original_len` restores the exact pre-padding length. Returns the
+/// recovered payload.
+[[nodiscard]] std::vector<std::uint8_t> recover(
+    const std::vector<std::vector<std::uint8_t>>& data,
+    const std::vector<std::vector<std::uint8_t>>& parity, int lost_index,
+    std::size_t original_len);
+
+}  // namespace volcast::transport::fec

@@ -1,0 +1,137 @@
+#include "transport/packet.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace volcast::transport {
+
+namespace {
+
+/// Fletcher-16 over the given bytes: cheap, order-sensitive, and any
+/// single bit flip changes it. Good enough to *detect* corruption in a
+/// simulated wire; not a cryptographic claim.
+std::uint16_t checksum16(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t a = 0, b = 0;
+  for (std::uint8_t byte : bytes) {
+    a = (a + byte) % 255;
+    b = (b + a) % 255;
+  }
+  return static_cast<std::uint16_t>((b << 8) | a);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void validate_header(const PacketHeader& h, std::size_t payload_bytes) {
+  if ((h.flags & ~kFlagMask) != 0)
+    throw WireError("packet: unknown flag bits set");
+  if (payload_bytes > kMaxPayloadBytes)
+    throw WireError("packet: payload exceeds the jumbo-frame ceiling");
+  if (h.payload_len != payload_bytes)
+    throw WireError("packet: payload_len does not match payload size");
+  if (h.fec_k > 0) {
+    const unsigned group = static_cast<unsigned>(h.fec_k) + h.fec_r;
+    if (h.fec_index >= group)
+      throw WireError("packet: fec_index outside its FEC group");
+    const bool is_parity = (h.flags & kFlagParity) != 0;
+    if (is_parity != (h.fec_index >= h.fec_k))
+      throw WireError("packet: parity flag disagrees with fec_index");
+  } else if ((h.flags & kFlagParity) != 0) {
+    throw WireError("packet: parity packet without an FEC group");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_packet(
+    const PacketHeader& header, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxPayloadBytes)
+    throw WireError("packet: payload exceeds the jumbo-frame ceiling");
+  validate_header(header, payload.size());
+  const PacketHeader& h = header;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(PacketHeader::kWireSize + payload.size());
+  put_u16(out, PacketHeader::kMagic);
+  out.push_back(PacketHeader::kVersion);
+  out.push_back(h.flags);
+  put_u32(out, h.seq);
+  put_u32(out, h.tick);
+  put_u16(out, h.frame);
+  put_u16(out, h.tile);
+  put_u32(out, h.fec_group);
+  out.push_back(h.fec_index);
+  out.push_back(h.fec_k);
+  out.push_back(h.fec_r);
+  out.push_back(0);  // reserved
+  put_u16(out, h.payload_len);
+  // Checksum over everything serialized so far plus the payload; written
+  // last so the parser can recompute over the same range.
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint16_t sum = checksum16(
+      std::span<const std::uint8_t>(out.data(), out.size()));
+  put_u16(out, sum);
+  return out;
+}
+
+Packet parse_packet(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < PacketHeader::kWireSize)
+    throw WireError("packet: truncated before the header ends");
+  const std::uint8_t* p = bytes.data();
+  PacketHeader h;
+  if (get_u16(p) != PacketHeader::kMagic)
+    throw WireError("packet: bad magic");
+  if (p[2] != PacketHeader::kVersion)
+    throw WireError("packet: unsupported version");
+  h.flags = p[3];
+  h.seq = get_u32(p + 4);
+  h.tick = get_u32(p + 8);
+  h.frame = get_u16(p + 12);
+  h.tile = get_u16(p + 14);
+  h.fec_group = get_u32(p + 16);
+  h.fec_index = p[20];
+  h.fec_k = p[21];
+  h.fec_r = p[22];
+  h.payload_len = get_u16(p + 24);
+
+  // The length field is attacker-controlled until proven consistent: the
+  // buffer must hold header + claimed payload + trailing checksum exactly.
+  const std::size_t expected =
+      PacketHeader::kWireSize + static_cast<std::size_t>(h.payload_len);
+  if (h.payload_len > kMaxPayloadBytes)
+    throw WireError("packet: payload_len exceeds the jumbo-frame ceiling");
+  if (bytes.size() != expected)
+    throw WireError("packet: payload_len disagrees with buffer size");
+  validate_header(h, h.payload_len);
+
+  const std::uint16_t claimed = get_u16(p + expected - 2);
+  const std::uint16_t actual = checksum16(bytes.first(expected - 2));
+  if (claimed != actual) throw WireError("packet: checksum mismatch");
+
+  Packet packet;
+  packet.header = h;
+  packet.payload.assign(p + PacketHeader::kWireSize - 2,
+                        p + expected - 2);
+  return packet;
+}
+
+}  // namespace volcast::transport

@@ -1,0 +1,77 @@
+// Packet-level wire format for tile transmission (modelled on the
+// AVTransport draft: stream segmentation, per-packet sequence numbers and
+// timestamps, FEC grouping metadata in every header).
+//
+// A scheduled tile transmission becomes a *packet train*: the tile payload
+// is segmented into MTU-sized data packets, each carrying a fixed-size
+// header (sequence number, transmission tick, frame/tile ids, FEC group
+// coordinates, payload length, checksum). Parity packets ride in the same
+// train with the kParity flag. The parser is the trust boundary of the
+// receive path: corrupted, truncated or hostile bytes must be rejected
+// with a typed WireError — never undefined behaviour, over-allocation or
+// silent garbage (see tests/test_fuzz_decoders.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace volcast::transport {
+
+/// Typed rejection of malformed wire bytes.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Header flag bits.
+inline constexpr std::uint8_t kFlagParity = 0x01;      // FEC parity packet
+inline constexpr std::uint8_t kFlagRetransmit = 0x02;  // NACK-triggered resend
+inline constexpr std::uint8_t kFlagLastInTile = 0x04;  // tail packet of a tile
+inline constexpr std::uint8_t kFlagMask =
+    kFlagParity | kFlagRetransmit | kFlagLastInTile;
+
+/// Largest payload a single packet may carry (jumbo-frame ceiling); the
+/// parser rejects anything larger before allocating.
+inline constexpr std::size_t kMaxPayloadBytes = 9000;
+
+/// Fixed-size packet header, little-endian on the wire.
+struct PacketHeader {
+  static constexpr std::uint16_t kMagic = 0x5650;  // "PV"
+  static constexpr std::uint8_t kVersion = 1;
+  /// Serialized size in bytes (header precedes the payload).
+  static constexpr std::size_t kWireSize = 28;
+
+  std::uint32_t seq = 0;        // per-receiver monotonic sequence number
+  std::uint32_t tick = 0;       // transmission tick (logical timestamp)
+  std::uint16_t frame = 0;      // video frame index
+  std::uint16_t tile = 0;       // tile index within the frame train
+  std::uint8_t flags = 0;       // kFlag* bits
+  std::uint32_t fec_group = 0;  // FEC group id within the train
+  std::uint8_t fec_index = 0;   // position in the group: data 0..k-1, then parity
+  std::uint8_t fec_k = 0;       // data packets per FEC group (0 = no FEC)
+  std::uint8_t fec_r = 0;       // parity packets per FEC group
+  std::uint16_t payload_len = 0;
+};
+
+/// One parsed packet.
+struct Packet {
+  PacketHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes header + payload into wire bytes (header checksum covers
+/// both). Throws WireError if the payload exceeds kMaxPayloadBytes or the
+/// header is internally inconsistent (payload_len mismatch, bad flags).
+[[nodiscard]] std::vector<std::uint8_t> serialize_packet(
+    const PacketHeader& header, std::span<const std::uint8_t> payload);
+
+/// Parses wire bytes back into a packet. Throws WireError on truncation,
+/// bad magic/version, unknown flags, FEC coordinates outside the group,
+/// payload-length lies (header claims more or fewer bytes than present)
+/// and checksum mismatch. Never reads out of bounds and never allocates
+/// more than the buffer it was handed.
+[[nodiscard]] Packet parse_packet(std::span<const std::uint8_t> bytes);
+
+}  // namespace volcast::transport

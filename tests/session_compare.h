@@ -68,6 +68,24 @@ inline void expect_identical(const SessionResult& x, const SessionResult& y) {
   EXPECT_EQ(x.faults.degraded_user_ticks, y.faults.degraded_user_ticks);
   EXPECT_EQ(x.faults.unhealthy_user_ticks, y.faults.unhealthy_user_ticks);
   EXPECT_EQ(x.faults.health_transitions, y.faults.health_transitions);
+
+  EXPECT_EQ(x.transport.trains, y.transport.trains);
+  EXPECT_EQ(x.transport.tiles, y.transport.tiles);
+  EXPECT_EQ(x.transport.data_packets, y.transport.data_packets);
+  EXPECT_EQ(x.transport.parity_packets, y.transport.parity_packets);
+  EXPECT_EQ(x.transport.lost_packets, y.transport.lost_packets);
+  EXPECT_EQ(x.transport.retransmitted_packets,
+            y.transport.retransmitted_packets);
+  EXPECT_EQ(x.transport.nacks, y.transport.nacks);
+  EXPECT_EQ(x.transport.fec_recovered_tiles, y.transport.fec_recovered_tiles);
+  EXPECT_EQ(x.transport.nack_recovered_tiles,
+            y.transport.nack_recovered_tiles);
+  EXPECT_EQ(x.transport.deadline_missed_tiles,
+            y.transport.deadline_missed_tiles);
+  EXPECT_BITEQ(x.transport.residual_loss_mean, y.transport.residual_loss_mean);
+  EXPECT_BITEQ(x.transport.recovery_ms_p50, y.transport.recovery_ms_p50);
+  EXPECT_BITEQ(x.transport.recovery_ms_p99, y.transport.recovery_ms_p99);
+  EXPECT_BITEQ(x.transport.recovery_ms_max, y.transport.recovery_ms_max);
 }
 
 inline void expect_outcome_identical(const SlotOutcome& a,

@@ -82,6 +82,30 @@ inline std::vector<GoldenCase> golden_matrix() {
     chaos.intensity = 1.2;
     c.fault_plan = fault::random_plan(chaos);
   });
+  // Packet-wire policies, with correlated burst loss so the loss /
+  // FEC-repair / NACK machinery is all on the golden path.
+  auto burst_chaos = [](SessionConfig& c) {
+    fault::ChaosConfig chaos;
+    chaos.seed = c.seed;
+    chaos.duration_s = c.duration_s;
+    chaos.user_count = c.user_count;
+    chaos.ap_count = c.ap_count;
+    chaos.intensity = 0.8;
+    chaos.burst_loss_probability = 0.5;
+    c.fault_plan = fault::random_plan(chaos);
+  };
+  add("wire_fec", [&](SessionConfig& c) {
+    c.policy_overrides["transport"] = "fec";
+    burst_chaos(c);
+  });
+  add("wire_nack", [&](SessionConfig& c) {
+    c.policy_overrides["transport"] = "nack";
+    burst_chaos(c);
+  });
+  add("wire_hybrid", [&](SessionConfig& c) {
+    c.policy_overrides["transport"] = "hybrid";
+    burst_chaos(c);
+  });
   return cases;
 }
 
@@ -151,6 +175,27 @@ inline std::string serialize_result(const std::string& name,
   num("faults.degraded_user_ticks", r.faults.degraded_user_ticks);
   num("faults.unhealthy_user_ticks", r.faults.unhealthy_user_ticks);
   num("faults.health_transitions", r.faults.health_transitions);
+  num("transport.trains", static_cast<std::size_t>(r.transport.trains));
+  num("transport.tiles", static_cast<std::size_t>(r.transport.tiles));
+  num("transport.data_packets",
+      static_cast<std::size_t>(r.transport.data_packets));
+  num("transport.parity_packets",
+      static_cast<std::size_t>(r.transport.parity_packets));
+  num("transport.lost_packets",
+      static_cast<std::size_t>(r.transport.lost_packets));
+  num("transport.retransmitted_packets",
+      static_cast<std::size_t>(r.transport.retransmitted_packets));
+  num("transport.nacks", static_cast<std::size_t>(r.transport.nacks));
+  num("transport.fec_recovered_tiles",
+      static_cast<std::size_t>(r.transport.fec_recovered_tiles));
+  num("transport.nack_recovered_tiles",
+      static_cast<std::size_t>(r.transport.nack_recovered_tiles));
+  num("transport.deadline_missed_tiles",
+      static_cast<std::size_t>(r.transport.deadline_missed_tiles));
+  dbl("transport.residual_loss_mean", r.transport.residual_loss_mean);
+  dbl("transport.recovery_ms_p50", r.transport.recovery_ms_p50);
+  dbl("transport.recovery_ms_p99", r.transport.recovery_ms_p99);
+  dbl("transport.recovery_ms_max", r.transport.recovery_ms_max);
   return out.str();
 }
 

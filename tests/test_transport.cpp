@@ -1,0 +1,477 @@
+// Packet transport subsystem: wire-format round trips and hostile-input
+// rejection, FEC stripe algebra, train-level loss/recovery behaviour
+// (including the hybrid >= ablation acceptance bar), and the determinism
+// contract of wire-enabled sessions and fleets under burst-loss chaos.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/fleet.h"
+#include "core/session.h"
+#include "fault/fault_plan.h"
+#include "session_compare.h"
+#include "transport/fec.h"
+#include "transport/packet.h"
+#include "transport/wire.h"
+
+namespace volcast::transport {
+namespace {
+
+// ---------------------------------------------------------------- packets
+
+PacketHeader sample_header(std::uint16_t payload_len) {
+  PacketHeader h;
+  h.seq = 12345;
+  h.tick = 67;
+  h.frame = 8;
+  h.tile = 3;
+  h.flags = kFlagLastInTile;
+  h.fec_group = 2;
+  h.fec_index = 5;
+  h.fec_k = 8;
+  h.fec_r = 2;
+  h.payload_len = payload_len;
+  return h;
+}
+
+std::vector<std::uint8_t> sample_payload(std::size_t n) {
+  std::vector<std::uint8_t> payload(n);
+  for (std::size_t i = 0; i < n; ++i)
+    payload[i] = static_cast<std::uint8_t>((i * 31 + 7) & 0xFF);
+  return payload;
+}
+
+TEST(TransportPacket, RoundTripPreservesEveryField) {
+  const auto payload = sample_payload(1400);
+  const PacketHeader h = sample_header(1400);
+  const auto bytes = serialize_packet(h, payload);
+  ASSERT_EQ(bytes.size(), PacketHeader::kWireSize + payload.size());
+
+  const Packet p = parse_packet(bytes);
+  EXPECT_EQ(p.header.seq, h.seq);
+  EXPECT_EQ(p.header.tick, h.tick);
+  EXPECT_EQ(p.header.frame, h.frame);
+  EXPECT_EQ(p.header.tile, h.tile);
+  EXPECT_EQ(p.header.flags, h.flags);
+  EXPECT_EQ(p.header.fec_group, h.fec_group);
+  EXPECT_EQ(p.header.fec_index, h.fec_index);
+  EXPECT_EQ(p.header.fec_k, h.fec_k);
+  EXPECT_EQ(p.header.fec_r, h.fec_r);
+  EXPECT_EQ(p.header.payload_len, h.payload_len);
+  EXPECT_EQ(p.payload, payload);
+}
+
+TEST(TransportPacket, RoundTripEmptyPayload) {
+  PacketHeader h = sample_header(0);
+  h.flags = kFlagRetransmit;
+  const Packet p = parse_packet(serialize_packet(h, {}));
+  EXPECT_EQ(p.header.flags, kFlagRetransmit);
+  EXPECT_TRUE(p.payload.empty());
+}
+
+TEST(TransportPacket, SerializeRejectsInconsistentHeaders) {
+  const auto payload = sample_payload(100);
+  // payload_len must match the span handed in.
+  EXPECT_THROW((void)serialize_packet(sample_header(99), payload), WireError);
+  // Payload ceiling.
+  EXPECT_THROW((void)serialize_packet(
+                   sample_header(static_cast<std::uint16_t>(9001)),
+                   sample_payload(9001)),
+               WireError);
+  // Unknown flag bits.
+  PacketHeader bad_flags = sample_header(100);
+  bad_flags.flags = 0x80;
+  EXPECT_THROW((void)serialize_packet(bad_flags, payload), WireError);
+}
+
+TEST(TransportPacket, ParseRejectsTruncation) {
+  const auto payload = sample_payload(256);
+  const auto bytes = serialize_packet(sample_header(256), payload);
+  // Every truncation point, including mid-header, must throw — never read
+  // out of bounds.
+  for (std::size_t n = 0; n < bytes.size(); n += 13) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(n));
+    EXPECT_THROW((void)parse_packet(cut), WireError) << "length " << n;
+  }
+}
+
+TEST(TransportPacket, ParseRejectsBadMagicAndVersion) {
+  const auto payload = sample_payload(64);
+  auto bytes = serialize_packet(sample_header(64), payload);
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xFF;  // magic
+  EXPECT_THROW((void)parse_packet(corrupt), WireError);
+  corrupt = bytes;
+  corrupt[2] = PacketHeader::kVersion + 1;  // version
+  EXPECT_THROW((void)parse_packet(corrupt), WireError);
+}
+
+TEST(TransportPacket, ParseRejectsLengthFieldLies) {
+  const auto payload = sample_payload(512);
+  const auto bytes = serialize_packet(sample_header(512), payload);
+
+  // Header claims more bytes than present.
+  auto lie_more = bytes;
+  lie_more[24] = 0xFF;
+  lie_more[25] = 0x7F;
+  EXPECT_THROW((void)parse_packet(lie_more), WireError);
+
+  // Header claims fewer bytes than present (trailing garbage must not be
+  // silently ignored).
+  auto lie_less = bytes;
+  lie_less[24] = 1;
+  lie_less[25] = 0;
+  EXPECT_THROW((void)parse_packet(lie_less), WireError);
+}
+
+TEST(TransportPacket, ParseRejectsChecksumMismatch) {
+  const auto payload = sample_payload(300);
+  const auto bytes = serialize_packet(sample_header(300), payload);
+  // Flip one payload bit: the header parses clean, the checksum must not.
+  auto corrupt = bytes;
+  corrupt[PacketHeader::kWireSize + 150] ^= 0x10;
+  EXPECT_THROW((void)parse_packet(corrupt), WireError);
+}
+
+TEST(TransportPacket, ParseRejectsBadFecCoordinates) {
+  const auto payload = sample_payload(32);
+  PacketHeader h = sample_header(32);
+  h.fec_index = 10;  // k + r = 10 -> valid indices are 0..9
+  EXPECT_THROW((void)serialize_packet(h, payload), WireError);
+
+  // Parity flag on a packet without FEC grouping.
+  PacketHeader parity = sample_header(32);
+  parity.flags = kFlagParity;
+  parity.fec_k = 0;
+  parity.fec_r = 0;
+  parity.fec_index = 0;
+  EXPECT_THROW((void)serialize_packet(parity, payload), WireError);
+}
+
+// -------------------------------------------------------------------- FEC
+
+std::vector<std::vector<std::uint8_t>> sample_group(int k) {
+  std::vector<std::vector<std::uint8_t>> data;
+  for (int i = 0; i < k; ++i) {
+    // Varying lengths so the zero-padding path is on.
+    data.push_back(sample_payload(100 + static_cast<std::size_t>(i) * 37));
+  }
+  return data;
+}
+
+TEST(TransportFec, RecoverReproducesAnySingleLossPerStripe) {
+  const int k = 8, r = 2;
+  const auto data = sample_group(k);
+  const auto parity = fec::make_parity(data, r);
+  ASSERT_EQ(parity.size(), static_cast<std::size_t>(r));
+
+  for (int lost = 0; lost < k; ++lost) {
+    auto damaged = data;
+    const std::size_t original_len = damaged[lost].size();
+    damaged[lost].clear();
+    const auto rebuilt =
+        fec::recover(damaged, parity, lost, original_len);
+    EXPECT_EQ(rebuilt, data[static_cast<std::size_t>(lost)])
+        << "lost index " << lost;
+  }
+}
+
+TEST(TransportFec, TwoLossesInDistinctStripesRecoverable) {
+  std::vector<bool> data_arrived(8, true);
+  std::vector<bool> parity_arrived(2, true);
+  data_arrived[0] = false;  // stripe 0
+  data_arrived[3] = false;  // stripe 1
+  EXPECT_TRUE(fec::recoverable(data_arrived, parity_arrived));
+  EXPECT_EQ(fec::count_recoverable(data_arrived, parity_arrived), 2);
+}
+
+TEST(TransportFec, TwoLossesInSameStripeNotRecoverable) {
+  std::vector<bool> data_arrived(8, true);
+  std::vector<bool> parity_arrived(2, true);
+  data_arrived[0] = false;  // stripe 0
+  data_arrived[2] = false;  // stripe 0 again
+  EXPECT_FALSE(fec::recoverable(data_arrived, parity_arrived));
+  EXPECT_EQ(fec::count_recoverable(data_arrived, parity_arrived), 0);
+}
+
+TEST(TransportFec, LostParityDisablesItsStripe) {
+  std::vector<bool> data_arrived(8, true);
+  std::vector<bool> parity_arrived(2, true);
+  data_arrived[1] = false;   // stripe 1
+  parity_arrived[1] = false;  // stripe 1's parity gone too
+  EXPECT_FALSE(fec::recoverable(data_arrived, parity_arrived));
+  // The other stripe is intact, so nothing is countable either.
+  EXPECT_EQ(fec::count_recoverable(data_arrived, parity_arrived), 0);
+}
+
+TEST(TransportFec, NoParityMeansOnlyCleanGroupsSurvive) {
+  std::vector<bool> all(4, true);
+  EXPECT_TRUE(fec::recoverable(all, {}));
+  all[2] = false;
+  EXPECT_FALSE(fec::recoverable(all, {}));
+}
+
+// ------------------------------------------------------------------- wire
+
+TransportConfig wire_config() {
+  TransportConfig c;
+  c.mtu_bytes = 1400;
+  c.tile_bytes = 32768;
+  c.fec_group_data = 8;
+  c.fec_group_parity = 2;
+  c.nack_rounds = 2;
+  c.nack_rtt_ms = 4.0;
+  return c;
+}
+
+TrainParams lossy_params(std::uint32_t tick) {
+  TrainParams p;
+  p.frame_bits = 1.5e6;  // ~6 tiles of ~24 data packets each
+  p.per = 0.05;
+  p.burst_loss = 0.5;
+  p.deadline_ms = 12.0;
+  p.seed = 99;
+  p.user = 1;
+  p.tick = tick;
+  p.frame = static_cast<std::uint16_t>(tick % 30);
+  return p;
+}
+
+TEST(TransportWire, ConfigValidateRejectsNonsense) {
+  auto expect_bad = [](auto mutate) {
+    TransportConfig c;
+    mutate(c);
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  };
+  expect_bad([](TransportConfig& c) { c.mtu_bytes = 0; });
+  expect_bad([](TransportConfig& c) { c.mtu_bytes = 9001; });
+  expect_bad([](TransportConfig& c) { c.tile_bytes = 100; });
+  expect_bad([](TransportConfig& c) { c.fec_group_data = 0; });
+  expect_bad([](TransportConfig& c) { c.fec_group_parity = 9; });
+  expect_bad([](TransportConfig& c) { c.nack_rounds = -1; });
+  expect_bad([](TransportConfig& c) { c.nack_rtt_ms = 0.0; });
+  expect_bad([](TransportConfig& c) { c.target_per = 1.0; });
+  expect_bad([](TransportConfig& c) { c.burst_exit = 0.0; });
+  EXPECT_NO_THROW(TransportConfig{}.validate());
+}
+
+TEST(TransportWire, TrainIsDeterministic) {
+  const TransportConfig config = wire_config();
+  ReceiverState rx_a, rx_b;
+  for (std::uint32_t tick = 0; tick < 20; ++tick) {
+    const TrainParams p = lossy_params(tick);
+    const TrainResult a =
+        transmit_train(config, TransportPolicy::kHybrid, p, rx_a);
+    const TrainResult b =
+        transmit_train(config, TransportPolicy::kHybrid, p, rx_b);
+    EXPECT_EQ(a.lost_packets, b.lost_packets);
+    EXPECT_EQ(a.failed_tiles, b.failed_tiles);
+    EXPECT_EQ(a.retransmitted_packets, b.retransmitted_packets);
+    EXPECT_BITEQ(a.residual_loss, b.residual_loss);
+    EXPECT_BITEQ(a.recovery_ms, b.recovery_ms);
+  }
+  EXPECT_EQ(rx_a.next_seq, rx_b.next_seq);
+  EXPECT_BITEQ(rx_a.residual_loss, rx_b.residual_loss);
+}
+
+TEST(TransportWire, LosslessWireDeliversEverything) {
+  const TransportConfig config = wire_config();
+  TrainParams p = lossy_params(0);
+  p.per = 0.0;
+  p.burst_loss = 0.0;
+  ReceiverState rx;
+  const TrainResult r =
+      transmit_train(config, TransportPolicy::kHybrid, p, rx);
+  EXPECT_GT(r.tiles, 0u);
+  EXPECT_EQ(r.lost_packets, 0u);
+  EXPECT_EQ(r.failed_tiles, 0u);
+  EXPECT_EQ(r.retransmitted_packets, 0u);
+  EXPECT_TRUE(r.frame_ok());
+  EXPECT_BITEQ(r.residual_loss, 0.0);
+  // Sequence numbers were still burned for every packet on the wire.
+  EXPECT_EQ(rx.next_seq, r.data_packets + r.parity_packets);
+}
+
+TEST(TransportWire, TotalLossNeverHangsAndFailsEveryTile) {
+  // Worst case the chaos flag can produce: every packet (and every
+  // retransmission) is lost. The train must terminate with all tiles
+  // failed — the concealment path's job — not loop or crash.
+  const TransportConfig config = wire_config();
+  TrainParams p = lossy_params(0);
+  p.per = 1.0;
+  p.burst_loss = 1.0;
+  for (const TransportPolicy policy :
+       {TransportPolicy::kFec, TransportPolicy::kNack,
+        TransportPolicy::kHybrid}) {
+    ReceiverState rx;
+    const TrainResult r = transmit_train(config, policy, p, rx);
+    EXPECT_EQ(r.failed_tiles, r.tiles) << to_string(policy);
+    EXPECT_FALSE(r.frame_ok()) << to_string(policy);
+    EXPECT_BITEQ(r.residual_loss, 1.0);
+  }
+}
+
+TEST(TransportWire, ZeroDeadlineDisablesNack) {
+  const TransportConfig config = wire_config();
+  TrainParams p = lossy_params(3);
+  p.deadline_ms = 0.0;  // transfer ate the whole frame budget
+  ReceiverState rx;
+  const TrainResult r =
+      transmit_train(config, TransportPolicy::kNack, p, rx);
+  EXPECT_EQ(r.retransmitted_packets, 0u);
+  EXPECT_EQ(r.nack_recovered_tiles, 0u);
+  EXPECT_BITEQ(r.recovery_ms, 0.0);
+}
+
+// The acceptance ablation, pinned at the train level with fresh receiver
+// state per (policy, train) so all three policies see identical initial
+// loss draws on the data packets they share. Hybrid >= FEC is structural
+// (same packet sequence, NACK can only shrink the missing set); hybrid
+// >= NACK holds statistically over the sweep (parity shifts later seq
+// draws, so individual trains may differ either way).
+TEST(TransportWire, HybridRecoversAtLeastAsManyTilesAsAblations) {
+  const TransportConfig config = wire_config();
+  std::uint64_t fec_failed = 0, nack_failed = 0, hybrid_failed = 0;
+  std::uint64_t tiles = 0;
+  for (std::uint32_t tick = 0; tick < 300; ++tick) {
+    const TrainParams p = lossy_params(tick);
+    ReceiverState rx_fec, rx_nack, rx_hybrid;
+    const TrainResult fec_r =
+        transmit_train(config, TransportPolicy::kFec, p, rx_fec);
+    const TrainResult nack_r =
+        transmit_train(config, TransportPolicy::kNack, p, rx_nack);
+    const TrainResult hybrid_r =
+        transmit_train(config, TransportPolicy::kHybrid, p, rx_hybrid);
+    // Structural, so it must hold per train, not just in aggregate.
+    EXPECT_LE(hybrid_r.failed_tiles, fec_r.failed_tiles) << "tick " << tick;
+    fec_failed += fec_r.failed_tiles;
+    nack_failed += nack_r.failed_tiles;
+    hybrid_failed += hybrid_r.failed_tiles;
+    tiles += hybrid_r.tiles;
+  }
+  // The sweep must actually exercise the loss machinery.
+  EXPECT_GT(fec_failed + nack_failed, 0u);
+  EXPECT_GT(tiles, 0u);
+  EXPECT_LE(hybrid_failed, fec_failed);
+  EXPECT_LE(hybrid_failed, nack_failed);
+}
+
+TEST(TransportWire, ResidualLossEwmaTracksLoss) {
+  const TransportConfig config = wire_config();
+  ReceiverState rx;
+  TrainParams clean = lossy_params(0);
+  clean.per = 0.0;
+  clean.burst_loss = 0.0;
+  (void)transmit_train(config, TransportPolicy::kFec, clean, rx);
+  EXPECT_BITEQ(rx.residual_loss, 0.0);
+
+  TrainParams lossy = lossy_params(1);
+  lossy.per = 0.3;
+  (void)transmit_train(config, TransportPolicy::kFec, lossy, rx);
+  EXPECT_GT(rx.residual_loss, 0.0);
+  const double after_loss = rx.residual_loss;
+
+  // Back to clean air: the EWMA must decay, not latch.
+  TrainParams clean2 = lossy_params(2);
+  clean2.per = 0.0;
+  clean2.burst_loss = 0.0;
+  (void)transmit_train(config, TransportPolicy::kFec, clean2, rx);
+  EXPECT_LT(rx.residual_loss, after_loss);
+}
+
+// ---------------------------------------------------- session-level wire
+
+core::SessionConfig wire_session_config(const std::string& policy) {
+  core::SessionConfig c;
+  c.user_count = 3;
+  c.duration_s = 2.0;
+  c.master_points = 40'000;
+  c.video_frames = 20;
+  c.policy_overrides["transport"] = policy;
+  fault::ChaosConfig chaos;
+  chaos.seed = c.seed;
+  chaos.duration_s = c.duration_s;
+  chaos.user_count = c.user_count;
+  chaos.ap_count = c.ap_count;
+  chaos.intensity = 0.8;
+  chaos.burst_loss_probability = 0.6;
+  c.fault_plan = fault::random_plan(chaos);
+  return c;
+}
+
+TEST(TransportSession, WireCountersLandInSessionResult) {
+  core::Session session(wire_session_config("hybrid"));
+  const core::SessionResult r = session.run();
+  EXPECT_GT(r.transport.trains, 0u);
+  EXPECT_GT(r.transport.data_packets, 0u);
+  EXPECT_GT(r.transport.parity_packets, 0u);
+  EXPECT_GT(r.transport.lost_packets, 0u);
+  EXPECT_GE(r.transport.recovery_ms_max, r.transport.recovery_ms_p99);
+  EXPECT_GE(r.transport.recovery_ms_p99, r.transport.recovery_ms_p50);
+}
+
+TEST(TransportSession, GoodputPolicyLeavesWireUntouched) {
+  core::SessionConfig c = wire_session_config("hybrid");
+  c.policy_overrides.erase("transport");
+  const core::SessionResult r = core::Session(std::move(c)).run();
+  EXPECT_EQ(r.transport.trains, 0u);
+  EXPECT_EQ(r.transport.data_packets, 0u);
+}
+
+// The determinism-matrix entry for the wire: burst-loss chaos plus the
+// hybrid recovery path, bit-identical across worker_threads.
+TEST(TransportSession, WireRunBitIdenticalAcrossThreadCounts) {
+  auto run_with = [](std::size_t threads) {
+    core::SessionConfig c = wire_session_config("hybrid");
+    c.worker_threads = threads;
+    return core::Session(std::move(c)).run();
+  };
+  const core::SessionResult serial = run_with(1);
+  const core::SessionResult four = run_with(4);
+  core::expect_identical(serial, four);
+}
+
+TEST(TransportSession, ExtremeLossConfigsComplete) {
+  // No loss configuration may crash or deadlock a session; the worst case
+  // degrades to concealment.
+  for (const char* policy : {"fec", "nack", "hybrid"}) {
+    core::SessionConfig c = wire_session_config(policy);
+    c.duration_s = 1.0;
+    c.transport.target_per = 0.9;
+    c.transport.burst_enter = 1.0;
+    c.transport.burst_exit = 0.01;
+    fault::ChaosConfig chaos;
+    chaos.seed = c.seed;
+    chaos.duration_s = c.duration_s;
+    chaos.user_count = c.user_count;
+    chaos.ap_count = c.ap_count;
+    chaos.intensity = 1.5;
+    chaos.burst_loss_probability = 1.0;
+    c.fault_plan = fault::random_plan(chaos);
+    const core::SessionResult r = core::Session(std::move(c)).run();
+    EXPECT_GT(r.transport.trains, 0u) << policy;
+  }
+}
+
+TEST(TransportFleet, WireFleetBitIdenticalAcrossParallelism) {
+  auto run_with = [](std::size_t parallel) {
+    core::FleetConfig fc;
+    fc.session = wire_session_config("hybrid");
+    fc.session.duration_s = 1.0;
+    fc.session.worker_threads = 1;
+    fc.sessions = 3;
+    fc.parallel_sessions = parallel;
+    return core::run_fleet(fc);
+  };
+  const core::FleetResult serial = run_with(1);
+  const core::FleetResult four = run_with(4);
+  core::expect_fleet_identical(serial, four);
+}
+
+}  // namespace
+}  // namespace volcast::transport

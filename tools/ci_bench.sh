@@ -4,7 +4,11 @@
 # fresh numbers against the baselines committed at HEAD: any shared
 # benchmark that slowed down by more than the tolerance fails the run.
 #
-#   tools/ci_bench.sh [build-dir]      # default: build
+#   tools/ci_bench.sh [build-dir]      # default: build-bench
+#
+# Benchmarks are built Release in their own tree (default build-bench, so
+# the developer build directory keeps its own configuration): gating wall
+# clock on a debug build measures the sanitizer/assert tax, not the code.
 #
 # Environment:
 #   VOLCAST_BENCH_TOLERANCE   allowed fractional slowdown (default 0.20)
@@ -13,11 +17,11 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+BUILD_DIR="${1:-build-bench}"
 
-cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_micro bench_system_scaling bench_fleet
+  --target bench_micro bench_system_scaling bench_fleet bench_transport
 
 # Repetitions + median: single-shot times on a shared box swing well past
 # any useful tolerance; the median of 3 is stable enough to gate on.
@@ -26,20 +30,36 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --benchmark_out=BENCH_micro.json --benchmark_out_format=json
 "$BUILD_DIR"/bench/bench_system_scaling --json BENCH_scaling.json
 "$BUILD_DIR"/bench/bench_fleet --json BENCH_fleet.tmp.json
+"$BUILD_DIR"/bench/bench_transport --json BENCH_transport.tmp.json
 
-# Fold the fleet sweep into BENCH_scaling.json as its "fleet" key, so one
-# committed file carries the whole scaling trajectory.
-python3 - <<'EOF'
-import json
+# Fold the fleet and transport sweeps into BENCH_scaling.json ("fleet" /
+# "transport" keys) and stamp the machine context the numbers were taken
+# on, so one committed file carries the whole scaling trajectory and a
+# baseline from a different box or build type is recognisable as such.
+BENCH_BUILD_DIR="$BUILD_DIR" python3 - <<'EOF'
+import json, os, re
 with open("BENCH_scaling.json") as f:
     doc = json.load(f)
 with open("BENCH_fleet.tmp.json") as f:
     doc["fleet"] = json.load(f)
+with open("BENCH_transport.tmp.json") as f:
+    doc["transport"] = json.load(f)
+build_type = "unknown"
+try:
+    with open(os.path.join(os.environ["BENCH_BUILD_DIR"],
+                           "CMakeCache.txt")) as f:
+        m = re.search(r"^CMAKE_BUILD_TYPE:\w+=(.*)$", f.read(), re.M)
+        if m and m.group(1):
+            build_type = m.group(1)
+except OSError:
+    pass
+doc["context"] = {"num_cpus": os.cpu_count(),
+                  "library_build_type": build_type}
 with open("BENCH_scaling.json", "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 EOF
-rm -f BENCH_fleet.tmp.json
+rm -f BENCH_fleet.tmp.json BENCH_transport.tmp.json
 
 if [[ "${VOLCAST_BENCH_NO_CHECK:-0}" == "1" ]]; then
   echo "ci_bench: baseline check skipped (VOLCAST_BENCH_NO_CHECK=1)"
@@ -105,6 +125,18 @@ else:
                     fails.append(
                         f"scaling users={e['users']} {key}: "
                         f"{ratio:.2f}x baseline")
+    transport_ref = {e["policy"]: e
+                     for e in base.get("transport", {}).get("policies", [])}
+    for e in cur.get("transport", {}).get("policies", []):
+        old = transport_ref.get(e["policy"])
+        if not old:
+            continue
+        if old.get("sweep_s", 0) >= 0.25:
+            ratio = e["sweep_s"] / old["sweep_s"]
+            if ratio > 1 + tol:
+                fails.append(
+                    f"transport policy={e['policy']} sweep_s: "
+                    f"{ratio:.2f}x baseline")
     fleet_ref = {e["sessions"]: e
                  for e in base.get("fleet", {}).get("scaling", [])}
     for e in cur.get("fleet", {}).get("scaling", []):

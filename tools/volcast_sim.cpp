@@ -80,6 +80,26 @@ void print_session_result(const SessionConfig& config,
               result.mean_airtime_utilization, result.dropped_ticks);
   if (!config.fault_plan.empty())
     std::printf("%s", result.faults.summary().c_str());
+  if (result.transport.trains > 0) {
+    const auto& w = result.transport;
+    std::printf("wire: %llu trains, %llu data + %llu parity pkts, %llu "
+                "lost, %llu retransmitted\n",
+                static_cast<unsigned long long>(w.trains),
+                static_cast<unsigned long long>(w.data_packets),
+                static_cast<unsigned long long>(w.parity_packets),
+                static_cast<unsigned long long>(w.lost_packets),
+                static_cast<unsigned long long>(w.retransmitted_packets));
+    std::printf("wire recovery: %llu tiles by FEC, %llu by NACK, %llu "
+                "deadline-missed | residual loss %.4f\n",
+                static_cast<unsigned long long>(w.fec_recovered_tiles),
+                static_cast<unsigned long long>(w.nack_recovered_tiles),
+                static_cast<unsigned long long>(w.deadline_missed_tiles),
+                w.residual_loss_mean);
+    if (w.recovery_ms_max > 0.0)
+      std::printf("wire recovery latency: p50 %.1f ms, p99 %.1f ms, max "
+                  "%.1f ms\n",
+                  w.recovery_ms_p50, w.recovery_ms_p99, w.recovery_ms_max);
+  }
 
   if (per_user) {
     AsciiTable table;
@@ -174,6 +194,10 @@ int main(int argc, char** argv) {
                    "add a session-crash fault firing with this probability "
                    "(0 = no crash fault; with --fleet, crashed slots are "
                    "supervised instead of aborting the fleet)");
+  flags.add_number("chaos-burst-loss", 0.0,
+                   "add correlated burst-loss windows with this bad-state "
+                   "packet-loss probability (needs a wire policy, e.g. "
+                   "--policy transport=hybrid, to have any effect)");
   flags.add_switch("per-user", "print the per-user QoE table");
   flags.add_string("timeline", "",
                    "write a per-tick CSV (t,user,buffer_s,tier,rss_dbm,"
@@ -266,6 +290,7 @@ int main(int argc, char** argv) {
     chaos.ap_count = config.ap_count;
     chaos.intensity = flags.num("chaos-intensity");
     chaos.crash_probability = flags.num("chaos-crash");
+    chaos.burst_loss_probability = flags.num("chaos-burst-loss");
     config.fault_plan = fault::random_plan(chaos);
     std::printf("%s", config.fault_plan.summary().c_str());
   }

@@ -139,6 +139,8 @@ int summarize(const std::string& path) {
   std::map<std::string, StageStats> stages;
   std::map<std::string, std::size_t> events;
   std::vector<std::pair<std::string, std::string>> counters;
+  // Wire counters ("transport.*"), pulled out into their own section.
+  std::map<std::string, unsigned long long> wire;
   bool has_wall = false;
   std::size_t ticks = 0;
 
@@ -165,7 +167,11 @@ int summarize(const std::string& path) {
       } else if (kind == "event") {
         ++events[record.str("layer") + "/" + record.str("type")];
       } else if (kind == "counter") {
-        counters.emplace_back(record.str("name"), record.raw("value"));
+        const std::string name = record.str("name");
+        counters.emplace_back(name, record.raw("value"));
+        if (name.rfind("transport.", 0) == 0)
+          wire[name.substr(10)] =
+              static_cast<unsigned long long>(record.uint("value"));
       }
     }
   } catch (const std::exception& e) {
@@ -207,6 +213,29 @@ int summarize(const std::string& path) {
     for (const auto& [key, count] : events)
       etable.row({key, std::to_string(count)});
     std::printf("%s", etable.render().c_str());
+  }
+  if (!wire.empty()) {
+    // The packet wire was on (--policy transport=fec|nack|hybrid): render
+    // its counters as a dedicated section so loss/recovery behaviour is
+    // inspectable straight from the log.
+    const auto get = [&](const char* key) -> unsigned long long {
+      const auto it = wire.find(key);
+      return it != wire.end() ? it->second : 0ULL;
+    };
+    std::printf("\ntransport wire:\n");
+    AsciiTable wtable;
+    wtable.header({"metric", "value"});
+    wtable.row({"data packets sent", std::to_string(get("packets_sent"))});
+    wtable.row({"parity packets sent",
+                std::to_string(get("parity_packets"))});
+    wtable.row({"packets lost", std::to_string(get("packets_lost"))});
+    wtable.row({"packets retransmitted",
+                std::to_string(get("retransmitted_packets"))});
+    wtable.row({"tiles recovered by FEC",
+                std::to_string(get("fec_recovered_tiles"))});
+    wtable.row({"tiles past deadline",
+                std::to_string(get("deadline_missed_tiles"))});
+    std::printf("%s", wtable.render().c_str());
   }
   if (!counters.empty()) {
     std::printf("\ncounters:\n");
