@@ -23,6 +23,7 @@ volcast_add_bench(bench_ablation_grouping)
 volcast_add_bench(bench_ablation_rate_adaptation)
 volcast_add_bench(bench_system_scaling)
 volcast_add_bench(bench_fleet)
+volcast_add_bench(bench_tile_cache)
 volcast_add_bench(bench_transport)
 
 volcast_add_bench(bench_micro)

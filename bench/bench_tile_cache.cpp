@@ -1,0 +1,222 @@
+// Encode-once, serve-many: tile-cache benefit across users and fleet
+// slots.
+//
+// Section 1 (single session): users x audience-spread sweep comparing
+// tiling=off (per-user encode) against tiling=shared. The logical encode
+// bytes per user are deterministic, so the encode-cost ratio is a hard
+// regression gate; the headline property is that shared encode cost scales
+// with *distinct viewports*, not user count — at 8 users in a tight arc
+// the per-user encode cost drops well past 2x.
+//
+// Section 2 (fleet): 8 slots streaming the same content (content_seed
+// pinned), per-slot local caches vs one fleet-shared cache. Cross-slot
+// handoff turns most first-touch encodes into cache hits; the hit rate is
+// deterministic in the serial run and gated, wall clock is informational.
+//
+// `--json PATH` writes the machine-readable form consumed by
+// tools/ci_bench.sh (merged into BENCH_scaling.json as the "tile_cache"
+// key).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/table.h"
+#include "core/fleet.h"
+#include "core/session.h"
+#include "pointcloud/tile_cache.h"
+
+using namespace volcast;
+using namespace volcast::core;
+
+namespace {
+
+SessionConfig session_config(std::size_t users, double spread) {
+  SessionConfig config;
+  config.user_count = users;
+  config.duration_s = 2.0;
+  config.master_points = 100'000;
+  config.video_frames = 30;
+  config.worker_threads = 1;
+  config.audience_spread_rad = spread;
+  return config;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Timed {
+  SessionResult result;
+  double wall_s = 0.0;
+};
+
+Timed run_timed(const SessionConfig& config, const char* tiling,
+                vv::TileCache* cache) {
+  constexpr int kReps = 3;
+  Timed best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    SessionConfig sc = config;
+    sc.policy_overrides["tiling"] = tiling;
+    sc.tile_cache = cache;
+    Session session(std::move(sc));
+    const auto t0 = std::chrono::steady_clock::now();
+    SessionResult r = session.run();
+    const double wall = seconds_since(t0);
+    if (rep == 0 || wall < best.wall_s) {
+      best.result = r;
+      best.wall_s = wall;
+    }
+  }
+  return best;
+}
+
+int run(const char* json_path) {
+  std::FILE* out = nullptr;
+  if (json_path != nullptr) {
+    out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_tile_cache: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"tile_cache\",\n"
+                 "  \"config\": {\"duration_s\": 2.0, \"master_points\": "
+                 "100000, \"video_frames\": 30},\n"
+                 "  \"sessions\": [");
+  }
+
+  std::printf("=== Tile cache: encode-once/serve-many vs per-user encode "
+              "===\n\n");
+  AsciiTable table;
+  table.header({"users", "spread", "off MB/user", "shared MB/user",
+                "encode ratio", "reuse", "hit rate", "off s", "shared s"});
+  bool first = true;
+  // 1.5 rad is the "clustered" arc: viewports overlap heavily but the
+  // users stay out of each other's body-blockage shadow (tighter arcs
+  // black out the links and nothing is scheduled).
+  for (const auto& [users, spread] :
+       {std::pair<std::size_t, double>{2, 2.0},
+        {4, 2.0},
+        {8, 1.5},
+        {8, 2.0},
+        {16, 1.5}}) {
+    const SessionConfig config = session_config(users, spread);
+    const Timed off = run_timed(config, "off", nullptr);
+    // An external cache so the deterministic serial run's hit rate is
+    // observable from outside the session.
+    vv::TileCache cache;
+    const Timed shared = run_timed(config, "shared", &cache);
+
+    const double n = static_cast<double>(users);
+    const double off_mb_user =
+        static_cast<double>(off.result.tiles.encoded_bytes) / 1e6 / n;
+    const double shared_mb_user =
+        static_cast<double>(shared.result.tiles.encoded_bytes) / 1e6 / n;
+    // < 1: the shared path encodes fewer bytes. The gated column.
+    const double encode_ratio =
+        static_cast<double>(shared.result.tiles.encoded_bytes) /
+        static_cast<double>(off.result.tiles.encoded_bytes);
+    const double reuse =
+        static_cast<double>(shared.result.tiles.stitched_tiles) /
+        static_cast<double>(shared.result.tiles.requests);
+    const double hit_rate = cache.stats().hit_rate();
+
+    if (out != nullptr) {
+      std::fprintf(out,
+                   "%s\n    {\"users\": %zu, \"spread_rad\": %.1f, "
+                   "\"off_encode_mb_per_user\": %.4f, "
+                   "\"shared_encode_mb_per_user\": %.4f, "
+                   "\"encode_ratio\": %.4f, \"reuse\": %.4f, "
+                   "\"hit_rate\": %.4f, \"off_s\": %.4f, "
+                   "\"shared_s\": %.4f}",
+                   first ? "" : ",", users, spread, off_mb_user,
+                   shared_mb_user, encode_ratio, reuse, hit_rate, off.wall_s,
+                   shared.wall_s);
+      first = false;
+    }
+    table.row({std::to_string(users), AsciiTable::num(spread, 1),
+               AsciiTable::num(off_mb_user, 2),
+               AsciiTable::num(shared_mb_user, 2),
+               AsciiTable::num(encode_ratio, 3), AsciiTable::num(reuse, 3),
+               AsciiTable::num(hit_rate, 3), AsciiTable::num(off.wall_s, 2),
+               AsciiTable::num(shared.wall_s, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // --- fleet: per-slot local caches vs one fleet-shared cache ------------
+  constexpr std::size_t kSlots = 8;
+  FleetConfig fc;
+  fc.session = session_config(4, 2.0);
+  fc.session.content_seed = 0x5eedc0de;  // every slot streams this video
+  fc.session.policy_overrides["tiling"] = "shared";
+  fc.sessions = kSlots;
+  fc.parallel_sessions = 1;
+
+  constexpr int kReps = 3;
+  double local_s = 0.0;
+  double shared_s = 0.0;
+  double shared_hit_rate = 0.0;
+  FleetResult fleet;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Per-slot local caches: defeat the fleet handoff by handing each slot
+    // nothing and forcing the template cache path off.
+    FleetConfig local_fc = fc;
+    vv::TileCache defeat(1);  // capacity 1 byte: nothing is ever resident
+    local_fc.session.tile_cache = &defeat;
+    auto t0 = std::chrono::steady_clock::now();
+    const FleetResult rl = run_fleet(local_fc);
+    const double local = seconds_since(t0);
+    if (rep == 0 || local < local_s) local_s = local;
+
+    FleetConfig shared_fc = fc;
+    vv::TileCache shared_cache;
+    shared_fc.session.tile_cache = &shared_cache;
+    t0 = std::chrono::steady_clock::now();
+    fleet = run_fleet(shared_fc);
+    const double shared = seconds_since(t0);
+    if (rep == 0 || shared < shared_s) shared_s = shared;
+    shared_hit_rate = shared_cache.stats().hit_rate();
+    if (rl.total_users != fleet.total_users) return 1;  // impossible
+  }
+  const double fleet_speedup = local_s / shared_s;
+
+  std::printf("\n=== Fleet handoff: %zu slots, same content, cold vs "
+              "shared cache ===\n\n",
+              kSlots);
+  AsciiTable ftable;
+  ftable.header({"slots", "cold s", "shared s", "speedup", "hit rate",
+                 "stitched", "encoded"});
+  ftable.row({std::to_string(kSlots), AsciiTable::num(local_s, 2),
+              AsciiTable::num(shared_s, 2),
+              AsciiTable::num(fleet_speedup, 2),
+              AsciiTable::num(shared_hit_rate, 3),
+              std::to_string(fleet.tiles.stitched_tiles),
+              std::to_string(fleet.tiles.encoded_tiles)});
+  std::printf("%s", ftable.render().c_str());
+
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "\n  ],\n  \"fleet\": {\"slots\": %zu, \"cold_s\": %.4f, "
+                 "\"shared_s\": %.4f, \"speedup\": %.3f, "
+                 "\"hit_rate\": %.4f, \"stitched_tiles\": %llu, "
+                 "\"encoded_tiles\": %llu}\n}\n",
+                 kSlots, local_s, shared_s, fleet_speedup, shared_hit_rate,
+                 static_cast<unsigned long long>(fleet.tiles.stitched_tiles),
+                 static_cast<unsigned long long>(fleet.tiles.encoded_tiles));
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--json") == 0) return run(argv[2]);
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+    return 2;
+  }
+  return run(nullptr);
+}

@@ -132,6 +132,12 @@ void put_session_result(std::vector<std::uint8_t>& out,
   put_f64(out, w.recovery_ms_p50);
   put_f64(out, w.recovery_ms_p99);
   put_f64(out, w.recovery_ms_max);
+  const vv::TileReport& t = r.tiles;
+  put_u64(out, t.requests);
+  put_u64(out, t.encoded_tiles);
+  put_u64(out, t.stitched_tiles);
+  put_u64(out, t.encoded_bytes);
+  put_u64(out, t.stitched_bytes);
 }
 
 SessionResult read_session_result(Reader& in) {
@@ -199,6 +205,12 @@ SessionResult read_session_result(Reader& in) {
   w.recovery_ms_p50 = in.f64();
   w.recovery_ms_p99 = in.f64();
   w.recovery_ms_max = in.f64();
+  vv::TileReport& t = r.tiles;
+  t.requests = in.u64();
+  t.encoded_tiles = in.u64();
+  t.stitched_tiles = in.u64();
+  t.encoded_bytes = in.u64();
+  t.stitched_bytes = in.u64();
   return r;
 }
 
@@ -255,6 +267,7 @@ std::uint64_t fleet_fingerprint(const FleetConfig& config) {
   h.f64(s.cell_size_m);
   h.u64(s.start_tier);
   h.u64(s.seed);
+  h.u64(s.content_seed);
   h.f64(s.prediction_horizon_s);
   h.f64(s.decode_points_per_second);
   h.f64(s.audience_spread_rad);

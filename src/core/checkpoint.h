@@ -37,7 +37,10 @@ namespace volcast::core {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x504b4356u;  // "VCKP"
 // v2: SessionResult gained the packet-wire TransportReport block.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+// v3: SessionResult gained the TileReport block; the fingerprint now
+//     covers content_seed (shared-content fleets must not resume foreign
+//     files).
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Typed rejection of an unusable checkpoint (corrupt, truncated, foreign
 /// version, or produced by a different fleet configuration).

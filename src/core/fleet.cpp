@@ -10,6 +10,7 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/checkpoint.h"
+#include "core/stages/registry.h"
 
 namespace volcast::core {
 
@@ -81,11 +82,16 @@ SlotOutcome run_supervised_slot(const FleetConfig& config, std::size_t slot,
   }
 }
 
-}  // namespace
+/// The tiling policy the session template resolves to (default +
+/// override), i.e. what build_pipeline will instantiate in every slot.
+std::string resolved_tiling_policy(const SessionConfig& session) {
+  std::string name = default_policy(StageKind::kTiling, session);
+  const auto it = session.policy_overrides.find("tiling");
+  if (it != session.policy_overrides.end()) name = it->second;
+  return name;
+}
 
-FleetResult run_fleet(const FleetConfig& config) {
-  config.validate();
-
+FleetResult run_fleet_impl(const FleetConfig& config) {
   FleetResult result;
   result.sessions.resize(config.sessions);
   result.outcomes.resize(config.sessions);
@@ -187,6 +193,15 @@ FleetResult run_fleet(const FleetConfig& config) {
       stall_dist.add(q.stall_time_s);
     }
   }
+  for (std::size_t k = 0; k < config.sessions; ++k) {
+    if (result.outcomes[k].status != SlotStatus::kCompleted) continue;
+    const vv::TileReport& t = result.sessions[k].tiles;
+    result.tiles.requests += t.requests;
+    result.tiles.encoded_tiles += t.encoded_tiles;
+    result.tiles.stitched_tiles += t.stitched_tiles;
+    result.tiles.encoded_bytes += t.encoded_bytes;
+    result.tiles.stitched_bytes += t.stitched_bytes;
+  }
   result.mean_displayed_fps = fps_stats.mean();
   result.mean_stall_ratio = stall_stats.mean();
   result.mean_quality_tier = tier_stats.mean();
@@ -197,6 +212,26 @@ FleetResult run_fleet(const FleetConfig& config) {
     result.p95_stall_time_s = stall_dist.percentile(95.0);
   }
   return result;
+}
+
+}  // namespace
+
+FleetResult run_fleet(const FleetConfig& config) {
+  config.validate();
+  // Encode-once, serve-many across the fleet: when the slots will run the
+  // "shared" tiling policy and the caller didn't supply a cache, stand up
+  // one fleet-shared cache here so a tile encoded by any slot is stitched
+  // by all the others. The cache pointer is not part of the checkpoint
+  // fingerprint (it changes wall clock only, never results), so resumed
+  // runs stay compatible either way.
+  if (config.session.tile_cache == nullptr &&
+      resolved_tiling_policy(config.session) == "shared") {
+    vv::TileCache shared_cache;
+    FleetConfig with_cache = config;
+    with_cache.session.tile_cache = &shared_cache;
+    return run_fleet_impl(with_cache);
+  }
+  return run_fleet_impl(config);
 }
 
 }  // namespace volcast::core

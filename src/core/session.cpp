@@ -61,7 +61,7 @@ void SessionConfig::validate() const {
       throw std::invalid_argument(
           "SessionConfig: unknown pipeline slot '" + slot +
           "' in policy_overrides (expected prediction, beam, adaptation, "
-          "mitigation, grouping or transport)");
+          "mitigation, grouping, tiling or transport)");
     if (!PolicyRegistry::instance().contains(*kind, name)) {
       std::string msg = "SessionConfig: unknown " + slot + " policy '" +
                         name + "'; registered:";
@@ -226,6 +226,7 @@ SessionResult Session::Impl::run() {
     state.twire.recovery_ms_max = sorted.back();
   }
   result.transport = state.twire;
+  result.tiles = state.tiles;
   return result;
 }
 

@@ -30,6 +30,7 @@
 #include "core/testbed.h"
 #include "fault/fault_plan.h"
 #include "fault/health.h"
+#include "pointcloud/tile_cache.h"
 #include "sim/qoe.h"
 #include "trace/mobility.h"
 #include "transport/wire.h"
@@ -69,6 +70,12 @@ struct SessionConfig {
   std::size_t start_tier = 2;  // highest of the three paper tiers
 
   std::uint64_t seed = 1;
+  /// Content identity override. 0 (the default) derives the video seed
+  /// from `seed` as before, so every session streams its own video. A
+  /// nonzero value pins the video (and thus every tile's content
+  /// fingerprint) regardless of `seed` — this is what lets fleet slots
+  /// (seed + k) share one tile cache: same content, different audiences.
+  std::uint64_t content_seed = 0;
   double prediction_horizon_s = 0.1;
   /// Worker threads for the per-tick pipeline (per-user visibility, link
   /// evaluation, per-group beam design) and the video-store precompute.
@@ -115,9 +122,9 @@ struct SessionConfig {
 
   /// Pipeline-slot policy overrides by name, applied on top of the
   /// defaults the ablation switches select: e.g. {"grouping",
-  /// "pairs_only"} or {"beam", "reactive"}. Keys are the six slot names
+  /// "pairs_only"} or {"beam", "reactive"}. Keys are the seven slot names
   /// ("prediction", "beam", "adaptation", "mitigation", "grouping",
-  /// "transport"); values are names registered in the stage policy
+  /// "tiling", "transport"); values are names registered in the stage policy
   /// registry (core/stages/registry.h). validate() rejects unknown slots
   /// and names. This is what `volcast_sim --policy grouping=greedy_iou`
   /// sets.
@@ -135,6 +142,14 @@ struct SessionConfig {
   /// way, at any worker_threads value. The sink must outlive the session
   /// and is not flushed here: call Telemetry::write_jsonl after run().
   obs::Telemetry* telemetry = nullptr;
+
+  /// Optional shared tile cache for the "shared" tiling policy (null = the
+  /// session builds its own). A fleet passes one cache to every slot so a
+  /// tile encoded by any session is stitched by all the others. The cache
+  /// must outlive the session. Tiles are pure functions of their key, so a
+  /// racing shared cache affects wall clock only — never SessionResult
+  /// (see core/stages/tiling_stage.h). Ignored when tiling is "off".
+  vv::TileCache* tile_cache = nullptr;
 
   TestbedConfig testbed{};
   /// Per-burst MAC costs applied to every scheduled transmission.
@@ -192,6 +207,12 @@ struct SessionResult {
   /// policy): packets sent/lost, FEC and NACK recoveries, deadline misses,
   /// residual loss after FEC, recovery-latency percentiles.
   transport::TransportReport transport;
+  /// Tile assembly totals (all zero under the default "off" tiling policy).
+  /// Deterministic first-touch accounting: under "shared", encoded_tiles
+  /// counts distinct (frame, tier, cell) keys this session touched first,
+  /// stitched_tiles the repeats served from cache — regardless of thread
+  /// count or what other fleet slots did to the shared cache.
+  vv::TileReport tiles;
 };
 
 /// Runs one configured session; construction precomputes the video store.

@@ -9,6 +9,7 @@
 #include "core/stages/grouping_stage.h"
 #include "core/stages/mitigation_stage.h"
 #include "core/stages/prediction_stage.h"
+#include "core/stages/tiling_stage.h"
 #include "core/stages/transport_stage.h"
 
 namespace volcast::core {
@@ -16,8 +17,9 @@ namespace volcast::core {
 namespace {
 
 constexpr std::array<StageKind, kStageKindCount> kPipelineOrder = {
-    StageKind::kPrediction, StageKind::kBeam,     StageKind::kAdaptation,
-    StageKind::kMitigation, StageKind::kGrouping, StageKind::kTransport,
+    StageKind::kPrediction, StageKind::kBeam,   StageKind::kAdaptation,
+    StageKind::kMitigation, StageKind::kGrouping, StageKind::kTiling,
+    StageKind::kTransport,
 };
 
 }  // namespace
@@ -57,6 +59,12 @@ PolicyRegistry::PolicyRegistry() {
   });
   add(StageKind::kGrouping, "exhaustive", [](const SessionConfig&) {
     return std::make_unique<GroupingStage>(GroupingPolicy::kExhaustive);
+  });
+  add(StageKind::kTiling, "off", [](const SessionConfig&) {
+    return std::make_unique<TilingStage>(false);
+  });
+  add(StageKind::kTiling, "shared", [](const SessionConfig&) {
+    return std::make_unique<TilingStage>(true);
   });
   add(StageKind::kTransport, "mac",
       [](const SessionConfig&) { return std::make_unique<TransportStage>(); });
@@ -138,6 +146,8 @@ std::string default_policy(StageKind kind, const SessionConfig& c) {
         case GroupingPolicy::kExhaustive: return "exhaustive";
       }
       return "greedy_iou";
+    case StageKind::kTiling:
+      return "off";
     case StageKind::kTransport:
       return "mac";
   }

@@ -30,7 +30,9 @@ vv::VideoConfig SessionState::video_config(const SessionConfig& c) {
   vc.points_per_frame = c.master_points;
   vc.frame_count = c.video_frames;
   vc.fps = c.fps;
-  vc.seed = c.seed ^ 0xc0ffee;
+  // content_seed decouples the video identity from the session seed so
+  // fleet slots (seed + k) can stream the *same* content and share tiles.
+  vc.seed = c.content_seed != 0 ? c.content_seed : (c.seed ^ 0xc0ffee);
   return vc;
 }
 
@@ -84,6 +86,7 @@ SessionState::SessionState(SessionConfig c)
       health(c.user_count, fault::HealthMonitor(c.health)),
       has_faults(!c.fault_plan.empty()) {
   tel = config.telemetry;
+  video_seed = video_config(c).seed;
   if (tel != nullptr)
     rss_evals = &tel->metrics().counter("mmwave.rss_evals");
   BeamDesignerConfig bd;

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/stats.h"
@@ -22,6 +23,7 @@
 #include "fault/injector.h"
 #include "mmwave/mcs.h"
 #include "obs/telemetry.h"
+#include "pointcloud/tile_cache.h"
 #include "pointcloud/video_store.h"
 #include "sim/event_queue.h"
 #include "sim/player.h"
@@ -108,6 +110,16 @@ struct SessionState {
   // Both are appended only from the serial delivery loop, in slot order.
   transport::TransportReport twire;
   std::vector<double> recovery_samples;
+
+  // Tiling-stage state. `tiles` is the deterministic logical report
+  // (first-touch accounting; see tiling_stage.h); the cache pointers and
+  // the seen-bitmap are lazily initialized on the stage's first tick.
+  vv::TileReport tiles;
+  std::vector<char> tile_seen;
+  std::uint64_t tile_content = 0;
+  std::uint64_t video_seed = 0;
+  vv::TileCache* tile_cache = nullptr;  // external (fleet-shared) or local
+  std::unique_ptr<vv::TileCache> local_tile_cache;
 
   // Telemetry (null = disabled; every hook is one pointer test).
   obs::Telemetry* tel = nullptr;

@@ -14,16 +14,17 @@ namespace volcast::core {
 struct SessionState;
 struct TickContext;
 
-/// The six pipeline slots, in execution order.
+/// The seven pipeline slots, in execution order.
 enum class StageKind : std::uint8_t {
   kPrediction,  // pose observation + joint viewport prediction
   kBeam,        // AP assignment + per-user beam tracking / link state
   kAdaptation,  // per-user quality-tier decisions
   kMitigation,  // proactive blockage mitigation
   kGrouping,    // per-AP multicast group formation + group beam design
+  kTiling,      // per-user frame assembly from content-addressed tiles
   kTransport,   // MAC scheduling, delivery, prefetch, miss accounting
 };
-inline constexpr std::size_t kStageKindCount = 6;
+inline constexpr std::size_t kStageKindCount = 7;
 
 [[nodiscard]] constexpr std::string_view to_string(StageKind kind) noexcept {
   switch (kind) {
@@ -32,6 +33,7 @@ inline constexpr std::size_t kStageKindCount = 6;
     case StageKind::kAdaptation: return "adaptation";
     case StageKind::kMitigation: return "mitigation";
     case StageKind::kGrouping: return "grouping";
+    case StageKind::kTiling: return "tiling";
     case StageKind::kTransport: return "transport";
   }
   return "?";

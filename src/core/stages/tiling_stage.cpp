@@ -1,0 +1,115 @@
+#include "core/stages/tiling_stage.h"
+
+#include <memory>
+#include <vector>
+
+#include "core/stages/session_state.h"
+#include "core/stages/tick_context.h"
+
+namespace volcast::core {
+
+void TilingStage::run(SessionState& state, TickContext& ctx) {
+  const std::size_t frame = ctx.frame;
+  obs::Telemetry* tel = state.tel;
+  obs::Span span = ctx.span(obs::Stage::kTile);
+  const vv::TileReport before = state.tiles;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  const std::size_t tier_count = state.store.tier_count();
+  const std::size_t cell_count = state.grid.cell_count();
+  if (shared_ && state.tile_seen.empty()) {
+    // First tick: size the first-touch bitmap and resolve the cache — the
+    // fleet-shared one when the config carries it, else a session-local
+    // store (within-session sharing still amortizes repeats).
+    std::vector<std::size_t> tier_points;
+    tier_points.reserve(tier_count);
+    for (const vv::QualityTier& tier : state.store.tiers())
+      tier_points.push_back(tier.points_per_frame);
+    state.tile_content = vv::tile_content_fingerprint(
+        state.video_seed, state.config.master_points,
+        state.config.video_frames, state.config.cell_size_m, tier_points);
+    state.tile_seen.assign(state.config.video_frames * tier_count * cell_count,
+                           0);
+    state.tile_cache = state.config.tile_cache;
+    if (state.tile_cache == nullptr) {
+      state.local_tile_cache = std::make_unique<vv::TileCache>();
+      state.tile_cache = state.local_tile_cache.get();
+    }
+  }
+
+  for (std::size_t a = 0; a < state.coordinator.ap_count(); ++a) {
+    if (!ctx.ap_plans[a].active) continue;
+    for (const mac::GroupPlan& plan :
+         ctx.ap_plans[a].grouping.schedule.groups) {
+      for (const mac::UserDemand& demand : plan.members) {
+        const std::size_t u = demand.user;
+        const std::size_t tier = state.users[u].tier;
+        const auto& vis = ctx.prediction.visibility[u];
+        for (vv::CellId cell = 0; cell < cell_count; ++cell) {
+          if (vis.lod(cell) <= 0.0) continue;
+          const std::size_t bytes = state.store.cell_bytes(frame, tier, cell);
+          if (bytes == 0) continue;
+          ++state.tiles.requests;
+          if (!shared_) {
+            // Legacy model: every user encodes its own copy of the cell.
+            ++state.tiles.encoded_tiles;
+            state.tiles.encoded_bytes += bytes;
+            continue;
+          }
+          const std::size_t seen_at =
+              (frame * tier_count + tier) * cell_count + cell;
+          if (!state.tile_seen[seen_at]) {
+            state.tile_seen[seen_at] = 1;
+            ++state.tiles.encoded_tiles;
+            state.tiles.encoded_bytes += bytes;
+          } else {
+            ++state.tiles.stitched_tiles;
+            state.tiles.stitched_bytes += bytes;
+          }
+          // Materialize: a resident tile — this session's earlier encode
+          // or another fleet slot's — is stitched at the cost of get()'s
+          // checksum validation; a miss (cold key, eviction, corruption)
+          // pays the full encode. Wall clock only: the logical
+          // encoded/stitched split above is already settled.
+          vv::TileKey key;
+          key.content = state.tile_content;
+          key.frame = static_cast<std::uint32_t>(frame);
+          key.cell = static_cast<std::uint32_t>(cell);
+          key.tier = static_cast<std::uint16_t>(tier);
+          const std::shared_ptr<const vv::Tile> tile =
+              state.tile_cache->get(key);
+          if (tile != nullptr) {
+            ++cache_hits;
+          } else {
+            ++cache_misses;
+            (void)state.tile_cache->put(vv::encode_tile(key, bytes));
+          }
+        }
+      }
+    }
+  }
+
+  const std::uint64_t requests = state.tiles.requests - before.requests;
+  span.add_cost(requests);
+  if (tel != nullptr && requests > 0) {
+    obs::MetricRegistry& metrics = tel->metrics();
+    metrics.counter("tile.requests").add(requests);
+    metrics.counter("tile.encoded_tiles")
+        .add(state.tiles.encoded_tiles - before.encoded_tiles);
+    metrics.counter("tile.stitched_tiles")
+        .add(state.tiles.stitched_tiles - before.stitched_tiles);
+    metrics.counter("tile.encoded_bytes")
+        .add(state.tiles.encoded_bytes - before.encoded_bytes);
+    metrics.counter("tile.stitched_bytes")
+        .add(state.tiles.stitched_bytes - before.stitched_bytes);
+    if (cache_hits > 0) metrics.counter("tile.cache_hits").add(cache_hits);
+    if (cache_misses > 0)
+      metrics.counter("tile.cache_misses").add(cache_misses);
+    metrics.gauge("tile.encode_bytes_per_user")
+        .set(static_cast<double>(state.tiles.encoded_bytes) /
+             static_cast<double>(state.user_count()));
+  }
+}
+
+}  // namespace volcast::core

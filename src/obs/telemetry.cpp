@@ -36,6 +36,7 @@ const char* to_string(Stage stage) noexcept {
     case Stage::kMitigate: return "mitigate";
     case Stage::kGroup: return "group";
     case Stage::kBeam: return "beam";
+    case Stage::kTile: return "tile";
     case Stage::kSchedule: return "schedule";
     case Stage::kPlayer: return "player";
   }

@@ -41,6 +41,7 @@ enum class Stage : std::uint8_t {
   kMitigate,  // proactive blockage mitigation planning
   kGroup,     // multicast grouping (per AP)
   kBeam,      // multicast beam design (per AP)
+  kTile,      // per-user frame assembly from cached tiles
   kSchedule,  // MAC schedule + delivery accounting (per AP)
   kPlayer,    // player advance + health observation
 };

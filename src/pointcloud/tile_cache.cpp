@@ -1,0 +1,152 @@
+#include "pointcloud/tile_cache.h"
+
+#include <bit>
+#include <utility>
+
+namespace volcast::vv {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t TileKey::hash() const noexcept {
+  std::uint64_t state = content;
+  state ^= (static_cast<std::uint64_t>(frame) << 32) |
+           (static_cast<std::uint64_t>(tier) << 24) | cell;
+  return splitmix64(state);
+}
+
+std::uint64_t tile_checksum(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint8_t byte : data) {
+    h ^= byte;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+bool Tile::valid() const noexcept { return tile_checksum(payload) == checksum; }
+
+std::uint64_t tile_content_fingerprint(
+    std::uint64_t video_seed, std::size_t master_points,
+    std::size_t video_frames, double cell_size_m,
+    std::span<const std::size_t> tier_points) {
+  const auto fold = [](std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * i));
+      h *= kFnvPrime;
+    }
+    return h;
+  };
+  std::uint64_t h = kFnvOffset;
+  h = fold(h, video_seed);
+  h = fold(h, master_points);
+  h = fold(h, video_frames);
+  h = fold(h, std::bit_cast<std::uint64_t>(cell_size_m));
+  h = fold(h, tier_points.size());
+  for (std::size_t points : tier_points) h = fold(h, points);
+  return h;
+}
+
+Tile encode_tile(const TileKey& key, std::size_t bytes) {
+  Tile tile;
+  tile.key = key;
+  tile.payload.resize(bytes);
+  // The keystream models the codec's output; the extra mixing rounds per
+  // word model the rate-distortion search a real per-cell encode performs.
+  // Both feed the payload bytes, so the work cannot be elided — this is
+  // what makes encode ~4x the cost of the stitch path's checksum pass.
+  std::uint64_t state = key.hash();
+  std::size_t at = 0;
+  while (at < bytes) {
+    std::uint64_t word = splitmix64(state);
+    word ^= splitmix64(state);
+    word ^= splitmix64(state);
+    const std::size_t take = bytes - at < 8 ? bytes - at : 8;
+    for (std::size_t i = 0; i < take; ++i)
+      tile.payload[at + i] = static_cast<std::uint8_t>(word >> (8 * i));
+    at += take;
+  }
+  tile.checksum = tile_checksum(tile.payload);
+  return tile;
+}
+
+std::uint64_t stitch_tile(const Tile& tile) noexcept {
+  return tile_checksum(tile.payload);
+}
+
+std::shared_ptr<const Tile> TileCache::get(const TileKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::shared_ptr<const Tile> tile = it->second;
+  if (!tile->valid()) {
+    // Bit rot (or a hostile writer): never serve a bad bitstream. Evict
+    // the entry so the next encoder repopulates it.
+    bytes_ -= tile->payload.size();
+    stats_.payload_bytes.store(bytes_, std::memory_order_relaxed);
+    map_.erase(it);
+    stats_.corrupt_rejected.fetch_add(1, std::memory_order_relaxed);
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  return tile;
+}
+
+std::shared_ptr<const Tile> TileCache::put(Tile tile) {
+  auto owned = std::make_shared<const Tile>(std::move(tile));
+  if (frozen()) return owned;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(owned->key);
+  if (it != map_.end()) return it->second;  // first-in wins, bytes identical
+  const std::size_t incoming = owned->payload.size();
+  if (max_bytes_ != 0 && incoming > max_bytes_) return owned;  // never fits
+  evict_for(incoming);
+  bytes_ += incoming;
+  stats_.payload_bytes.store(bytes_, std::memory_order_relaxed);
+  stats_.insertions.fetch_add(1, std::memory_order_relaxed);
+  fifo_.push_back(owned->key);
+  map_.emplace(owned->key, owned);
+  return owned;
+}
+
+void TileCache::evict_for(std::size_t incoming) {
+  if (max_bytes_ == 0) return;
+  while (bytes_ + incoming > max_bytes_ && !fifo_.empty()) {
+    const TileKey victim = fifo_.front();
+    fifo_.pop_front();
+    const auto it = map_.find(victim);
+    if (it == map_.end()) continue;  // already evicted as corrupt
+    bytes_ -= it->second->payload.size();
+    map_.erase(it);
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.payload_bytes.store(bytes_, std::memory_order_relaxed);
+}
+
+std::size_t TileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::size_t TileCache::payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace volcast::vv

@@ -1,0 +1,180 @@
+// Content-addressed tile cache: encode once, serve many.
+//
+// A *tile* is the independently decodable codec output of one cell at one
+// quality tier of one video frame — the unit tiled-HEVC pipelines splice
+// per-viewer bitstreams from. Because the codec output for a given
+// (content, frame, tier, cell) is a pure function of its key, tiles are
+// content-addressed: the cache key embeds a fingerprint of the video
+// content itself, so sessions streaming different videos coexist safely in
+// one cache and a hit is always byte-identical to a fresh encode.
+//
+// Sharing model:
+//  * Within a session, the tiling stage encodes each distinct tile once
+//    (first touch) and *stitches* every repeat — users in the same
+//    multicast group fetch overlapping cells at the same tier, so encode
+//    cost scales with distinct viewports, not user count.
+//  * Across fleet slots, run_fleet hands every slot one shared cache; a
+//    slot that needs a tile another slot already encoded validates its
+//    checksum and reuses the payload instead of re-encoding.
+//
+// Determinism: tiles are pure functions of their key, so insert order,
+// races between slots and even eviction change only wall-clock work, never
+// payload bytes. The per-session TileReport is computed from session-local
+// first-touch accounting (see core/stages/tiling_stage.h) and is therefore
+// bit-identical at any worker_threads / parallel_sessions value regardless
+// of what the shared cache holds.
+//
+// Integrity: every tile carries an FNV-1a checksum of its payload; get()
+// re-validates on every hit and a corrupt entry is evicted and reported as
+// a miss, so a damaged cache degrades to re-encoding instead of serving
+// garbage bitstreams.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace volcast::vv {
+
+/// Identity of one encoded tile. `content` fingerprints the video the tile
+/// was cut from (see tile_content_fingerprint), so keys are globally
+/// unambiguous across sessions and fleet slots.
+struct TileKey {
+  std::uint64_t content = 0;
+  std::uint32_t frame = 0;
+  std::uint32_t cell = 0;
+  std::uint16_t tier = 0;
+
+  [[nodiscard]] bool operator==(const TileKey& other) const noexcept {
+    return content == other.content && frame == other.frame &&
+           cell == other.cell && tier == other.tier;
+  }
+
+  /// splitmix64 over the packed fields — the seed of the tile's synthetic
+  /// bitstream and the cache's hash function.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+};
+
+struct TileKeyHash {
+  std::size_t operator()(const TileKey& key) const noexcept {
+    return static_cast<std::size_t>(key.hash());
+  }
+};
+
+/// One encoded tile: the bitstream plus its integrity checksum.
+struct Tile {
+  TileKey key;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t checksum = 0;  // FNV-1a64 over payload
+
+  /// Does the stored checksum match the payload?
+  [[nodiscard]] bool valid() const noexcept;
+};
+
+/// FNV-1a64 — the repo-wide blob checksum (VideoStore, checkpoint).
+[[nodiscard]] std::uint64_t tile_checksum(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// Fingerprint of the video content a tile belongs to: everything that
+/// determines codec output for a (frame, tier, cell) coordinate. Sessions
+/// with equal fingerprints may share tiles; unequal ones never collide
+/// because the fingerprint is part of every TileKey.
+[[nodiscard]] std::uint64_t tile_content_fingerprint(
+    std::uint64_t video_seed, std::size_t master_points,
+    std::size_t video_frames, double cell_size_m,
+    std::span<const std::size_t> tier_points);
+
+/// Produces the tile for `key` with an encoded size of `bytes`. The
+/// payload is a deterministic pure function of the key (a seeded keystream
+/// plus the extra mixing passes that stand in for the codec's
+/// rate-distortion search), so two encoders always produce byte-identical
+/// tiles — the property that makes content-addressed sharing sound.
+[[nodiscard]] Tile encode_tile(const TileKey& key, std::size_t bytes);
+
+/// Re-derives the checksum of the tile `key` would encode to, at roughly
+/// the cost of one pass over the payload — the "stitch" path: ~4x cheaper
+/// than encode_tile, which is where the serve-many saving comes from.
+[[nodiscard]] std::uint64_t stitch_tile(const Tile& tile) noexcept;
+
+/// Session-lifetime tile accounting, folded into SessionResult. Counted
+/// from session-local first-touch state, never from shared-cache probe
+/// outcomes, so the report is deterministic at any parallelism.
+struct TileReport {
+  std::uint64_t requests = 0;        // tiles assembled into user frames
+  std::uint64_t encoded_tiles = 0;   // first touches (distinct tiles)
+  std::uint64_t stitched_tiles = 0;  // repeats served from encoded output
+  std::uint64_t encoded_bytes = 0;   // bytes the session had to encode
+  std::uint64_t stitched_bytes = 0;  // encode bytes saved by stitching
+};
+
+/// Thread-safe content-addressed tile store with bounded capacity and
+/// deterministic FIFO (insertion-order) eviction. One mutex guards the
+/// index; payloads are immutable shared_ptrs, so an eviction racing a
+/// reader is safe. All Stats counters are atomics.
+class TileCache {
+ public:
+  struct Stats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> insertions{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> corrupt_rejected{0};
+    std::atomic<std::uint64_t> payload_bytes{0};  // currently resident
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      const double h = static_cast<double>(hits.load());
+      const double m = static_cast<double>(misses.load());
+      return h + m > 0.0 ? h / (h + m) : 0.0;
+    }
+  };
+
+  /// `max_bytes` bounds resident payload bytes (0 = unbounded). Inserting
+  /// past the bound evicts oldest-inserted tiles first.
+  explicit TileCache(std::size_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  TileCache(const TileCache&) = delete;
+  TileCache& operator=(const TileCache&) = delete;
+
+  /// Looks up a tile, re-validating its checksum: a corrupt entry is
+  /// evicted, counted in `corrupt_rejected` and reported as a miss (null).
+  [[nodiscard]] std::shared_ptr<const Tile> get(const TileKey& key);
+
+  /// Insert-or-get: stores `tile` unless an entry for its key is already
+  /// resident (two slots encoding concurrently produce identical bytes, so
+  /// first-in wins and the other copy is dropped). Returns the resident
+  /// tile; when the cache is frozen or the tile alone exceeds the
+  /// capacity, nothing is stored and the caller's copy is returned.
+  std::shared_ptr<const Tile> put(Tile tile);
+
+  /// Read-only from now on: get() keeps serving, put() stops storing.
+  /// The fleet's handoff safety latch for pre-warmed caches.
+  void freeze() noexcept { frozen_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool frozen() const noexcept {
+    return frozen_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t payload_bytes() const;
+  [[nodiscard]] std::size_t max_bytes() const noexcept { return max_bytes_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Drops oldest-inserted tiles until `incoming` more bytes fit. Caller
+  /// holds mu_.
+  void evict_for(std::size_t incoming);
+
+  const std::size_t max_bytes_;
+  std::atomic<bool> frozen_{false};
+  mutable std::mutex mu_;
+  std::unordered_map<TileKey, std::shared_ptr<const Tile>, TileKeyHash> map_;
+  std::deque<TileKey> fifo_;  // insertion order, front = oldest
+  std::size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace volcast::vv

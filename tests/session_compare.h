@@ -88,6 +88,18 @@ inline void expect_identical(const SessionResult& x, const SessionResult& y) {
   EXPECT_BITEQ(x.transport.recovery_ms_max, y.transport.recovery_ms_max);
 }
 
+/// Tile-report equality, separate from expect_identical: ablation tests
+/// compare tiling=off against tiling=shared runs whose *simulation* fields
+/// must match while the tile accounting legitimately differs.
+inline void expect_tiles_identical(const SessionResult& x,
+                                   const SessionResult& y) {
+  EXPECT_EQ(x.tiles.requests, y.tiles.requests);
+  EXPECT_EQ(x.tiles.encoded_tiles, y.tiles.encoded_tiles);
+  EXPECT_EQ(x.tiles.stitched_tiles, y.tiles.stitched_tiles);
+  EXPECT_EQ(x.tiles.encoded_bytes, y.tiles.encoded_bytes);
+  EXPECT_EQ(x.tiles.stitched_bytes, y.tiles.stitched_bytes);
+}
+
 inline void expect_outcome_identical(const SlotOutcome& a,
                                      const SlotOutcome& b) {
   EXPECT_EQ(a.status, b.status);
@@ -103,8 +115,10 @@ inline void expect_outcome_identical(const SlotOutcome& a,
 /// after any checkpoint/resume split.
 inline void expect_fleet_identical(const FleetResult& x, const FleetResult& y) {
   ASSERT_EQ(x.sessions.size(), y.sessions.size());
-  for (std::size_t k = 0; k < x.sessions.size(); ++k)
+  for (std::size_t k = 0; k < x.sessions.size(); ++k) {
     expect_identical(x.sessions[k], y.sessions[k]);
+    expect_tiles_identical(x.sessions[k], y.sessions[k]);
+  }
   ASSERT_EQ(x.outcomes.size(), y.outcomes.size());
   for (std::size_t k = 0; k < x.outcomes.size(); ++k)
     expect_outcome_identical(x.outcomes[k], y.outcomes[k]);
@@ -120,6 +134,11 @@ inline void expect_fleet_identical(const FleetResult& x, const FleetResult& y) {
   EXPECT_BITEQ(x.p50_displayed_fps, y.p50_displayed_fps);
   EXPECT_BITEQ(x.p95_displayed_fps, y.p95_displayed_fps);
   EXPECT_BITEQ(x.p95_stall_time_s, y.p95_stall_time_s);
+  EXPECT_EQ(x.tiles.requests, y.tiles.requests);
+  EXPECT_EQ(x.tiles.encoded_tiles, y.tiles.encoded_tiles);
+  EXPECT_EQ(x.tiles.stitched_tiles, y.tiles.stitched_tiles);
+  EXPECT_EQ(x.tiles.encoded_bytes, y.tiles.encoded_bytes);
+  EXPECT_EQ(x.tiles.stitched_bytes, y.tiles.stitched_bytes);
 }
 
 }  // namespace volcast::core

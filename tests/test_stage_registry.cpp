@@ -63,8 +63,9 @@ TEST(PolicyRegistry, DefaultsMirrorAblationSwitches) {
 TEST(PolicyRegistry, PipelineOrderIsFixed) {
   const auto pipeline = build_pipeline(SessionConfig{});
   constexpr StageKind kExpected[] = {
-      StageKind::kPrediction, StageKind::kBeam,     StageKind::kAdaptation,
-      StageKind::kMitigation, StageKind::kGrouping, StageKind::kTransport};
+      StageKind::kPrediction, StageKind::kBeam,   StageKind::kAdaptation,
+      StageKind::kMitigation, StageKind::kGrouping, StageKind::kTiling,
+      StageKind::kTransport};
   ASSERT_EQ(pipeline.size(), std::size(kExpected));
   for (std::size_t i = 0; i < pipeline.size(); ++i)
     EXPECT_EQ(pipeline[i]->kind(), kExpected[i]);

@@ -21,7 +21,8 @@ BUILD_DIR="${1:-build-bench}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_micro bench_system_scaling bench_fleet bench_transport
+  --target bench_micro bench_system_scaling bench_fleet bench_transport \
+           bench_tile_cache
 
 # Repetitions + median: single-shot times on a shared box swing well past
 # any useful tolerance; the median of 3 is stable enough to gate on.
@@ -31,6 +32,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
 "$BUILD_DIR"/bench/bench_system_scaling --json BENCH_scaling.json
 "$BUILD_DIR"/bench/bench_fleet --json BENCH_fleet.tmp.json
 "$BUILD_DIR"/bench/bench_transport --json BENCH_transport.tmp.json
+"$BUILD_DIR"/bench/bench_tile_cache --json BENCH_tile_cache.tmp.json
 
 # Fold the fleet and transport sweeps into BENCH_scaling.json ("fleet" /
 # "transport" keys) and stamp the machine context the numbers were taken
@@ -44,6 +46,8 @@ with open("BENCH_fleet.tmp.json") as f:
     doc["fleet"] = json.load(f)
 with open("BENCH_transport.tmp.json") as f:
     doc["transport"] = json.load(f)
+with open("BENCH_tile_cache.tmp.json") as f:
+    doc["tile_cache"] = json.load(f)
 build_type = "unknown"
 try:
     with open(os.path.join(os.environ["BENCH_BUILD_DIR"],
@@ -59,7 +63,7 @@ with open("BENCH_scaling.json", "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 EOF
-rm -f BENCH_fleet.tmp.json BENCH_transport.tmp.json
+rm -f BENCH_fleet.tmp.json BENCH_transport.tmp.json BENCH_tile_cache.tmp.json
 
 if [[ "${VOLCAST_BENCH_NO_CHECK:-0}" == "1" ]]; then
   echo "ci_bench: baseline check skipped (VOLCAST_BENCH_NO_CHECK=1)"
@@ -150,6 +154,49 @@ else:
                     fails.append(
                         f"fleet sessions={e['sessions']} {key}: "
                         f"{ratio:.2f}x baseline")
+    # Tile cache: encode_ratio and hit_rate are deterministic logical
+    # quantities (first-touch accounting / serial fleet run), so they gate
+    # exactly — any drift is a behavior change, not noise. Wall clock
+    # gates like the other suites, on entries long enough to measure.
+    tile_ref = {(e["users"], e["spread_rad"]): e
+                for e in base.get("tile_cache", {}).get("sessions", [])}
+    for e in cur.get("tile_cache", {}).get("sessions", []):
+        old = tile_ref.get((e["users"], e["spread_rad"]))
+        if not old:
+            continue
+        for key in ("encode_ratio", "hit_rate"):
+            if abs(e[key] - old[key]) > 1e-9:
+                fails.append(
+                    f"tile_cache users={e['users']} "
+                    f"spread={e['spread_rad']} {key}: "
+                    f"{e[key]:.4f} vs baseline {old[key]:.4f}")
+        for key in ("off_s", "shared_s"):
+            if old.get(key, 0) >= 0.25:
+                ratio = e[key] / old[key]
+                if ratio > 1 + tol:
+                    fails.append(
+                        f"tile_cache users={e['users']} "
+                        f"spread={e['spread_rad']} {key}: "
+                        f"{ratio:.2f}x baseline")
+        if e["users"] == 8 and e["spread_rad"] <= 1.5:
+            # The acceptance bar from the tile-cache PR: 8 users in <= 2
+            # viewport clusters must encode >= 2x cheaper per user.
+            if e["encode_ratio"] > 0.5:
+                fails.append(
+                    f"tile_cache users=8 clustered: encode_ratio "
+                    f"{e['encode_ratio']:.3f} > 0.5 (lost the 2x win)")
+    tile_fleet = cur.get("tile_cache", {}).get("fleet", {})
+    tile_fleet_ref = base.get("tile_cache", {}).get("fleet", {})
+    if tile_fleet and tile_fleet_ref:
+        if abs(tile_fleet["hit_rate"] - tile_fleet_ref["hit_rate"]) > 1e-9:
+            fails.append(
+                f"tile_cache fleet hit_rate: {tile_fleet['hit_rate']:.4f} "
+                f"vs baseline {tile_fleet_ref['hit_rate']:.4f}")
+        if tile_fleet_ref.get("shared_s", 0) >= 0.25:
+            ratio = tile_fleet["shared_s"] / tile_fleet_ref["shared_s"]
+            if ratio > 1 + tol:
+                fails.append(
+                    f"tile_cache fleet shared_s: {ratio:.2f}x baseline")
 
 if fails:
     print(f"ci_bench: FAIL — regressions beyond +{tol:.0%}:")

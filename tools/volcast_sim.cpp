@@ -100,6 +100,22 @@ void print_session_result(const SessionConfig& config,
                   "%.1f ms\n",
                   w.recovery_ms_p50, w.recovery_ms_p99, w.recovery_ms_max);
   }
+  if (result.tiles.requests > 0) {
+    const auto& t = result.tiles;
+    std::printf("tiles: %llu assembled = %llu encoded + %llu stitched "
+                "(%.0f%% reuse)\n",
+                static_cast<unsigned long long>(t.requests),
+                static_cast<unsigned long long>(t.encoded_tiles),
+                static_cast<unsigned long long>(t.stitched_tiles),
+                100.0 * static_cast<double>(t.stitched_tiles) /
+                    static_cast<double>(t.requests));
+    std::printf("tile encode: %.2f MB total, %.2f MB/user | stitched %.2f "
+                "MB saved\n",
+                static_cast<double>(t.encoded_bytes) / 1e6,
+                static_cast<double>(t.encoded_bytes) / 1e6 /
+                    static_cast<double>(config.user_count),
+                static_cast<double>(t.stitched_bytes) / 1e6);
+  }
 
   if (per_user) {
     AsciiTable table;
@@ -153,7 +169,17 @@ int main(int argc, char** argv) {
                    "top of the ablation flags: slot=name[,slot=name...], "
                    "e.g. grouping=pairs_only,beam=reactive (slots: "
                    "prediction, beam, adaptation, mitigation, grouping, "
-                   "transport)");
+                   "tiling, transport)");
+  flags.add_switch("tile-cache",
+                   "encode-once/serve-many tile assembly (shorthand for "
+                   "--policy tiling=shared): the first touch of each "
+                   "(frame, tier, cell) tile encodes it, every repeat is "
+                   "stitched from cache; with --fleet all slots share one "
+                   "cache");
+  flags.add_number("content-seed", 0,
+                   "pin the video content identity regardless of --seed "
+                   "(0 = derive from --seed); lets fleet slots stream the "
+                   "same content and share tiles across the fleet cache");
   flags.add_number("fleet", 0,
                    "run N independently-seeded sessions (seed, seed+1, ...) "
                    "and print aggregate fleet statistics (0 = single "
@@ -265,6 +291,9 @@ int main(int argc, char** argv) {
   if (!overrides) return fail("--policy: " + error);
   for (const auto& [slot, name] : *overrides)
     config.policy_overrides[slot] = name;
+  if (flags.on("tile-cache") && config.policy_overrides.count("tiling") == 0)
+    config.policy_overrides["tiling"] = "shared";
+  config.content_seed = flags.u64("content-seed");
 
   const std::string replay_dir = flags.str("replay");
   if (!replay_dir.empty()) {
@@ -352,6 +381,16 @@ int main(int argc, char** argv) {
                 "%.2f\n",
                 fleet.mean_stall_ratio, fleet.p95_stall_time_s,
                 fleet.mean_quality_tier);
+    if (fleet.tiles.requests > 0) {
+      const auto& t = fleet.tiles;
+      std::printf("tiles (fleet): %llu assembled = %llu encoded + %llu "
+                  "stitched | encode %.2f MB, saved %.2f MB\n",
+                  static_cast<unsigned long long>(t.requests),
+                  static_cast<unsigned long long>(t.encoded_tiles),
+                  static_cast<unsigned long long>(t.stitched_tiles),
+                  static_cast<double>(t.encoded_bytes) / 1e6,
+                  static_cast<double>(t.stitched_bytes) / 1e6);
+    }
     if (fleet.aborted_slots > 0 || fleet.retried_slots > 0) {
       std::printf("supervision: %zu of %zu slots aborted | %zu "
                   "quarantined | %zu completed after retry\n",

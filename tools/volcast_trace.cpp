@@ -141,6 +141,10 @@ int summarize(const std::string& path) {
   std::vector<std::pair<std::string, std::string>> counters;
   // Wire counters ("transport.*"), pulled out into their own section.
   std::map<std::string, unsigned long long> wire;
+  // Tile-cache counters ("tile.*"), same treatment, plus the per-user
+  // encode gauge.
+  std::map<std::string, unsigned long long> cache;
+  double encode_bytes_per_user = -1.0;
   bool has_wall = false;
   std::size_t ticks = 0;
 
@@ -172,6 +176,14 @@ int summarize(const std::string& path) {
         if (name.rfind("transport.", 0) == 0)
           wire[name.substr(10)] =
               static_cast<unsigned long long>(record.uint("value"));
+        if (name.rfind("tile.", 0) == 0)
+          cache[name.substr(5)] =
+              static_cast<unsigned long long>(record.uint("value"));
+      } else if (kind == "gauge") {
+        const std::string name = record.str("name");
+        counters.emplace_back(name, record.raw("value"));
+        if (name == "tile.encode_bytes_per_user")
+          encode_bytes_per_user = record.num("value");
       }
     }
   } catch (const std::exception& e) {
@@ -236,6 +248,38 @@ int summarize(const std::string& path) {
     wtable.row({"tiles past deadline",
                 std::to_string(get("deadline_missed_tiles"))});
     std::printf("%s", wtable.render().c_str());
+  }
+  if (!cache.empty()) {
+    // The tiling stage was on: hit rate, encode-vs-stitch split and the
+    // bytes stitching saved, straight from the log.
+    const auto get = [&](const char* key) -> unsigned long long {
+      const auto it = cache.find(key);
+      return it != cache.end() ? it->second : 0ULL;
+    };
+    const unsigned long long hits = get("cache_hits");
+    const unsigned long long misses = get("cache_misses");
+    std::printf("\ntile cache:\n");
+    AsciiTable ttable;
+    ttable.header({"metric", "value"});
+    ttable.row({"tiles assembled", std::to_string(get("requests"))});
+    ttable.row({"tiles encoded", std::to_string(get("encoded_tiles"))});
+    ttable.row({"tiles stitched", std::to_string(get("stitched_tiles"))});
+    ttable.row({"cache hit rate",
+                hits + misses > 0
+                    ? AsciiTable::num(static_cast<double>(hits) /
+                                          static_cast<double>(hits + misses),
+                                      3)
+                    : "-"});
+    ttable.row({"encode MB",
+                AsciiTable::num(
+                    static_cast<double>(get("encoded_bytes")) / 1e6, 2)});
+    ttable.row({"stitched MB saved",
+                AsciiTable::num(
+                    static_cast<double>(get("stitched_bytes")) / 1e6, 2)});
+    if (encode_bytes_per_user >= 0.0)
+      ttable.row({"encode MB per user",
+                  AsciiTable::num(encode_bytes_per_user / 1e6, 2)});
+    std::printf("%s", ttable.render().c_str());
   }
   if (!counters.empty()) {
     std::printf("\ncounters:\n");
