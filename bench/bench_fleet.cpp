@@ -9,9 +9,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <utility>
 
 #include "common/table.h"
 #include "core/fleet.h"
+#include "core/workload_bundle.h"
 
 using namespace volcast;
 using namespace volcast::core;
@@ -34,6 +37,57 @@ FleetConfig fleet_config(std::size_t sessions, std::size_t parallel) {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Setup amortization: what 8 slots' worth of session construction costs
+/// with one shared WorkloadBundle vs the legacy per-slot setup. This is
+/// the bench_fleet column ci_bench.sh gates (8-slot shared setup must stay
+/// <= 1.5x a single session's setup — vs ~8x without sharing).
+struct SetupBench {
+  double single_s = 0.0;        // one legacy Session construction
+  double bundle_build_s = 0.0;  // one WorkloadBundle::build
+  double shared8_s = 0.0;       // bundle build + 8 bundled constructions
+  double legacy8_s = 0.0;       // 8 legacy constructions
+  double amortization_8 = 0.0;  // shared8_s / single_s
+};
+
+SetupBench measure_setup() {
+  constexpr std::size_t kSlots = 8;
+  SessionConfig sc = fleet_config(kSlots, 1).session;
+  sc.content_seed = 4242;  // pinned content: every slot, one video
+  SetupBench b;
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    { Session session(sc); }
+    const double single = seconds_since(t0);
+    if (rep == 0 || single < b.single_s) b.single_s = single;
+
+    t0 = std::chrono::steady_clock::now();
+    const std::shared_ptr<const WorkloadBundle> bundle =
+        WorkloadBundle::build(sc);
+    const double build = seconds_since(t0);
+    if (rep == 0 || build < b.bundle_build_s) b.bundle_build_s = build;
+    for (std::size_t k = 0; k < kSlots; ++k) {
+      SessionConfig slot = sc;
+      slot.seed = sc.seed + k;
+      slot.bundle = bundle;
+      Session session(std::move(slot));
+    }
+    const double shared8 = seconds_since(t0);  // includes the build
+    if (rep == 0 || shared8 < b.shared8_s) b.shared8_s = shared8;
+  }
+  // One rep is plenty for the legacy fan-out: it only exists to show the
+  // ~8x the bundle removes, not to gate on.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < kSlots; ++k) {
+    SessionConfig slot = sc;
+    slot.seed = sc.seed + k;
+    Session session(std::move(slot));
+  }
+  b.legacy8_s = seconds_since(t0);
+  b.amortization_8 = b.shared8_s / b.single_s;
+  return b;
 }
 
 int run(const char* json_path) {
@@ -112,13 +166,32 @@ int run(const char* json_path) {
                    std::to_string(r.total_users),
                AsciiTable::num(r.mean_displayed_fps, 1)});
   }
+  const SetupBench setup = measure_setup();
   if (out != nullptr) {
-    std::fprintf(out, "\n  ]\n}\n");
+    std::fprintf(out,
+                 "\n  ],\n  \"setup\": {\"single_s\": %.4f, "
+                 "\"bundle_build_s\": %.4f, \"shared8_s\": %.4f, "
+                 "\"legacy8_s\": %.4f, \"amortization_8\": %.3f}\n}\n",
+                 setup.single_s, setup.bundle_build_s, setup.shared8_s,
+                 setup.legacy8_s, setup.amortization_8);
     std::fclose(out);
   }
   std::printf("=== Fleet scaling: serial vs %zu concurrent sessions ===\n\n",
               kParallelSessions);
   std::printf("%s", table.render().c_str());
+
+  AsciiTable setup_table;
+  setup_table.header({"setup", "single s", "bundle s", "shared x8 s",
+                      "legacy x8 s", "amortization"});
+  setup_table.row({"8 slots", AsciiTable::num(setup.single_s, 3),
+                   AsciiTable::num(setup.bundle_build_s, 3),
+                   AsciiTable::num(setup.shared8_s, 3),
+                   AsciiTable::num(setup.legacy8_s, 3),
+                   AsciiTable::num(setup.amortization_8, 2) + "x"});
+  std::printf(
+      "\n=== Setup amortization: one shared WorkloadBundle vs per-slot "
+      "setup ===\n\n%s",
+      setup_table.render().c_str());
   if (json_path != nullptr) std::printf("wrote %s\n", json_path);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/endian.h"
+#include "core/workload_bundle.h"
 
 namespace volcast::core {
 
@@ -254,6 +255,12 @@ std::uint64_t checkpoint_checksum(
 std::uint64_t fleet_fingerprint(const FleetConfig& config) {
   const SessionConfig& s = config.session;
   Hasher h;
+  // The shared-artifact identity folds in first: any bundle change (video
+  // seed, point budget, frame count, fps, cell size) moves the fingerprint
+  // even though the same fields also hash individually below — the
+  // checkpoint additionally records the hash verbatim for a specific
+  // resume-time error message.
+  h.u64(workload_bundle_hash(s));
   h.u64(config.sessions);
   h.f64(config.supported_fps_threshold);
   h.u64(config.supervision.max_retries);
@@ -345,6 +352,7 @@ std::vector<std::uint8_t> serialize_checkpoint(
   put_u32(out, kCheckpointMagic);
   put_u32(out, kCheckpointVersion);
   put_u64(out, checkpoint.fingerprint);
+  put_u64(out, checkpoint.bundle_hash);
   put_u32(out, checkpoint.slot_count);
   put_u32(out, static_cast<std::uint32_t>(checkpoint.records.size()));
   for (const SlotRecord& rec : checkpoint.records) {
@@ -365,7 +373,7 @@ std::vector<std::uint8_t> serialize_checkpoint(
 }
 
 FleetCheckpoint deserialize_checkpoint(std::span<const std::uint8_t> blob) {
-  if (blob.size() < 8 + 4 + 4 + 8 + 4 + 4)
+  if (blob.size() < 8 + 4 + 4 + 8 + 8 + 4 + 4)
     throw CheckpointError("checkpoint: too short to hold a header");
   const std::uint64_t expected =
       get_u64(blob, blob.size() - 8);
@@ -382,6 +390,7 @@ FleetCheckpoint deserialize_checkpoint(std::span<const std::uint8_t> blob) {
                           std::to_string(kCheckpointVersion) + ")");
   FleetCheckpoint ckpt;
   ckpt.fingerprint = in.u64();
+  ckpt.bundle_hash = in.u64();
   ckpt.slot_count = in.u32();
   const std::uint32_t records = in.u32();
   // Each record needs at least its fixed 38-byte prefix; reject counts the

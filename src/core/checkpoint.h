@@ -6,6 +6,7 @@
 //   u32  magic           "VCKP"
 //   u32  version         kCheckpointVersion
 //   u64  fingerprint     hash of every result-determining FleetConfig field
+//   u64  bundle_hash     WorkloadKey hash of the shared artifact set
 //   u32  slot_count      sessions in the fleet this file belongs to
 //   u32  record_count    finished slots stored
 //   record x record_count (sorted by slot):
@@ -40,7 +41,11 @@ inline constexpr std::uint32_t kCheckpointMagic = 0x504b4356u;  // "VCKP"
 // v3: SessionResult gained the TileReport block; the fingerprint now
 //     covers content_seed (shared-content fleets must not resume foreign
 //     files).
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+// v4: header gained bundle_hash (the WorkloadKey hash of the shared
+//     workload bundle, also folded into the fingerprint), so resume
+//     rejects a checkpoint taken against different shared content with a
+//     specific message instead of a generic fingerprint mismatch.
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 /// Typed rejection of an unusable checkpoint (corrupt, truncated, foreign
 /// version, or produced by a different fleet configuration).
@@ -60,6 +65,9 @@ struct SlotRecord {
 /// In-memory image of a checkpoint file.
 struct FleetCheckpoint {
   std::uint64_t fingerprint = 0;
+  /// workload_bundle_hash(config.session) of the fleet that wrote the
+  /// file: the identity of the shared artifact set every slot read.
+  std::uint64_t bundle_hash = 0;
   std::uint32_t slot_count = 0;
   std::vector<SlotRecord> records;  // kept sorted by slot
 };

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/checkpoint.h"
 #include "core/stages/registry.h"
+#include "core/workload_bundle.h"
 
 namespace volcast::core {
 
@@ -55,6 +56,15 @@ SlotOutcome run_supervised_slot(const FleetConfig& config, std::size_t slot,
       sc.seed = seed;
       if (config.supervision.tick_budget != 0)
         sc.tick_budget = config.supervision.tick_budget;
+      // The shared bundle survives retries untouched: a retry only redraws
+      // the *session* seed, and with content_seed pinned the workload
+      // identity — and therefore the bundle key — is seed-independent. The
+      // reset below only fires when content ties to the session seed
+      // (content_seed == 0), where each slot/attempt legitimately streams
+      // its own video and must build privately.
+      if (sc.bundle != nullptr &&
+          !(sc.bundle->key() == WorkloadKey::from(sc)))
+        sc.bundle.reset();
       Session session(std::move(sc));
       out = session.run();
       outcome.status = SlotStatus::kCompleted;
@@ -97,6 +107,7 @@ FleetResult run_fleet_impl(const FleetConfig& config) {
   result.outcomes.resize(config.sessions);
 
   const std::uint64_t fingerprint = fleet_fingerprint(config);
+  const std::uint64_t bundle_hash = workload_bundle_hash(config.session);
 
   // Restore finished slots verbatim before dispatching anything: the
   // stored outcome and result are byte-for-byte what the original run
@@ -105,6 +116,15 @@ FleetResult run_fleet_impl(const FleetConfig& config) {
   std::vector<char> finished(config.sessions, 0);
   if (!config.resume_file.empty()) {
     FleetCheckpoint ckpt = load_checkpoint(config.resume_file);
+    // Check the bundle hash before the full fingerprint: a content
+    // mismatch is the likelier operator error under shared-bundle fleets
+    // and deserves the specific message.
+    if (ckpt.bundle_hash != bundle_hash)
+      throw CheckpointError(
+          "checkpoint: workload bundle hash mismatch — " +
+          config.resume_file +
+          " was produced against different shared content (video seed, "
+          "master_points, video_frames, fps or cell_size_m differ)");
     if (ckpt.fingerprint != fingerprint)
       throw CheckpointError(
           "checkpoint: fingerprint mismatch — " + config.resume_file +
@@ -138,6 +158,7 @@ FleetResult run_fleet_impl(const FleetConfig& config) {
     if (!config.checkpoint_file.empty()) {
       FleetCheckpoint ckpt;
       ckpt.fingerprint = fingerprint;
+      ckpt.bundle_hash = bundle_hash;
       ckpt.slot_count = static_cast<std::uint32_t>(config.sessions);
       for (std::size_t j = 0; j < config.sessions; ++j) {
         if (!finished[j]) continue;
@@ -218,20 +239,27 @@ FleetResult run_fleet_impl(const FleetConfig& config) {
 
 FleetResult run_fleet(const FleetConfig& config) {
   config.validate();
+  FleetConfig effective = config;
+  // Setup-once, serve-many across the fleet: with pinned content every
+  // slot's workload identity is the same, so one shared WorkloadBundle
+  // replaces per-slot setup (video generation, codec precompute,
+  // occupancy). With content_seed == 0 each slot streams its own video
+  // (seed + k) and nothing is shareable — the legacy path stays. Like the
+  // tile cache below, the bundle changes wall clock only, never results.
+  if (effective.share_bundle && effective.session.bundle == nullptr &&
+      effective.session.content_seed != 0)
+    effective.session.bundle = WorkloadBundle::build(effective.session);
   // Encode-once, serve-many across the fleet: when the slots will run the
   // "shared" tiling policy and the caller didn't supply a cache, stand up
   // one fleet-shared cache here so a tile encoded by any slot is stitched
-  // by all the others. The cache pointer is not part of the checkpoint
-  // fingerprint (it changes wall clock only, never results), so resumed
-  // runs stay compatible either way.
-  if (config.session.tile_cache == nullptr &&
-      resolved_tiling_policy(config.session) == "shared") {
-    vv::TileCache shared_cache;
-    FleetConfig with_cache = config;
-    with_cache.session.tile_cache = &shared_cache;
-    return run_fleet_impl(with_cache);
-  }
-  return run_fleet_impl(config);
+  // by all the others. Neither the cache pointer nor the bundle is part of
+  // the checkpoint fingerprint (they change wall clock only, never
+  // results), so resumed runs stay compatible either way.
+  vv::TileCache shared_cache;
+  if (effective.session.tile_cache == nullptr &&
+      resolved_tiling_policy(effective.session) == "shared")
+    effective.session.tile_cache = &shared_cache;
+  return run_fleet_impl(effective);
 }
 
 }  // namespace volcast::core

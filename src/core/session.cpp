@@ -17,6 +17,7 @@
 #include "core/supervisor.h"
 #include "core/stages/session_state.h"
 #include "core/stages/tick_context.h"
+#include "core/workload_bundle.h"
 #include "obs/telemetry.h"
 
 namespace volcast::core {
@@ -75,6 +76,17 @@ void SessionConfig::validate() const {
     transport.validate();
   } catch (const std::invalid_argument& bad) {
     throw std::invalid_argument(std::string("SessionConfig: ") + bad.what());
+  }
+  if (bundle != nullptr) {
+    if (!bundle->frozen())
+      throw std::invalid_argument(
+          "SessionConfig: bundle must be frozen before sessions can share "
+          "it (call WorkloadBundle::freeze or use WorkloadBundle::build)");
+    if (!(bundle->key() == WorkloadKey::from(*this)))
+      throw std::invalid_argument(
+          "SessionConfig: bundle workload identity does not match this "
+          "config (video seed, master_points, video_frames, fps and "
+          "cell_size_m must all agree)");
   }
 }
 

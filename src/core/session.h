@@ -41,6 +41,8 @@ class Telemetry;
 
 namespace volcast::core {
 
+class WorkloadBundle;  // core/workload_bundle.h
+
 /// One row of the per-tick session timeline, delivered to the optional
 /// tick observer: everything needed to plot a session (buffer dynamics,
 /// link quality, quality-tier decisions) without recompiling.
@@ -150,6 +152,16 @@ struct SessionConfig {
   /// racing shared cache affects wall clock only — never SessionResult
   /// (see core/stages/tiling_stage.h). Ignored when tiling is "off".
   vv::TileCache* tile_cache = nullptr;
+
+  /// Optional shared workload bundle (core/workload_bundle.h): the
+  /// immutable setup artifacts — generated video, cell grid, VideoStore
+  /// codec tables, occupancy precompute — built once and read by every
+  /// session that shares it. Null (the default) makes the session build a
+  /// private bundle, which is the legacy per-session setup path,
+  /// bit-identical in every result. validate() rejects a bundle that is
+  /// not frozen or whose WorkloadKey does not match this config; run_fleet
+  /// fills this in automatically when content_seed pins the content.
+  std::shared_ptr<const WorkloadBundle> bundle;
 
   TestbedConfig testbed{};
   /// Per-burst MAC costs applied to every scheduled transmission.

@@ -25,31 +25,6 @@ MultiApConfig SessionState::multi_ap_config(const SessionConfig& c) {
   return mc;
 }
 
-vv::VideoConfig SessionState::video_config(const SessionConfig& c) {
-  vv::VideoConfig vc;
-  vc.points_per_frame = c.master_points;
-  vc.frame_count = c.video_frames;
-  vc.fps = c.fps;
-  // content_seed decouples the video identity from the session seed so
-  // fleet slots (seed + k) can stream the *same* content and share tiles.
-  vc.seed = c.content_seed != 0 ? c.content_seed : (c.seed ^ 0xc0ffee);
-  return vc;
-}
-
-vv::VideoStoreConfig SessionState::store_config(const SessionConfig& c,
-                                                common::ThreadPool* pool) {
-  vv::VideoStoreConfig sc;
-  // Scale the paper's 330K/430K/550K tier ladder to the configured
-  // master point budget.
-  const double scale = static_cast<double>(c.master_points) / 550'000.0;
-  sc.tiers = {{"low", static_cast<std::size_t>(330'000 * scale)},
-              {"med", static_cast<std::size_t>(430'000 * scale)},
-              {"high", c.master_points}};
-  sc.sample_frames = 1;
-  sc.pool = pool;
-  return sc;
-}
-
 view::JointPredictorConfig SessionState::joint_config(
     const SessionConfig& c, const Testbed& tb, common::ThreadPool* pool) {
   view::JointPredictorConfig jc;
@@ -73,10 +48,15 @@ const BeamDesigner& SessionState::designers_placeholder() {
 SessionState::SessionState(SessionConfig c)
     : config(c),
       coordinator(c.testbed, multi_ap_config(c)),
-      generator(video_config(c)),
-      grid(generator.content_bounds(), c.cell_size_m),
+      // A shared bundle (validated against this config by
+      // SessionConfig::validate) short-circuits the whole setup path; the
+      // legacy per-session path is simply a private bundle.
+      bundle(c.bundle != nullptr ? c.bundle : WorkloadBundle::build(c)),
       pool(c.worker_threads),
-      store(generator, grid, store_config(c, &pool)),
+      generator(bundle->generator()),
+      grid(bundle->grid()),
+      store(bundle->store()),
+      occupancy(bundle->occupancy()),
       joint(c.user_count, joint_config(c, coordinator.ap(0), &pool)),
       mitigator(coordinator.ap(0),
                 designers_placeholder(),  // replaced below
@@ -86,7 +66,7 @@ SessionState::SessionState(SessionConfig c)
       health(c.user_count, fault::HealthMonitor(c.health)),
       has_faults(!c.fault_plan.empty()) {
   tel = config.telemetry;
-  video_seed = video_config(c).seed;
+  video_seed = bundle->key().video_seed;
   if (tel != nullptr)
     rss_evals = &tel->metrics().counter("mmwave.rss_evals");
   BeamDesignerConfig bd;
@@ -96,15 +76,6 @@ SessionState::SessionState(SessionConfig c)
     designers.emplace_back(coordinator.ap(a), bd);
   mitigator = BlockageMitigator(coordinator.ap(0), designers.front(),
                                 MitigatorConfig{});
-
-  occupancy.reserve(c.video_frames);
-  const std::size_t top = store.tier_count() - 1;
-  for (std::size_t f = 0; f < c.video_frames; ++f) {
-    std::vector<std::uint32_t> occ(grid.cell_count());
-    for (vv::CellId cell = 0; cell < grid.cell_count(); ++cell)
-      occ[cell] = store.cell_points(f, top, cell);
-    occupancy.push_back(std::move(occ));
-  }
 
   Rng seeder(c.seed);
   const geo::Vec3 center = generator.content_center();

@@ -20,6 +20,7 @@
 #include "core/blockage_mitigator.h"
 #include "core/multi_ap.h"
 #include "core/session.h"
+#include "core/workload_bundle.h"
 #include "fault/injector.h"
 #include "mmwave/mcs.h"
 #include "obs/telemetry.h"
@@ -34,18 +35,22 @@ namespace volcast::core {
 struct SessionState {
   SessionConfig config;
   MultiApCoordinator coordinator;
-  vv::VideoGenerator generator;
-  vv::CellGrid grid;
-  // Declared before the store and the joint predictor: both hold a pointer
-  // to it and use it during their own construction.
+  // The immutable workload artifacts. Either the caller's shared bundle
+  // (config.bundle — one VideoStore serving every fleet slot) or a private
+  // one built here; the reference members below alias into it, so stage
+  // code reads them exactly as when the state owned the artifacts.
+  std::shared_ptr<const WorkloadBundle> bundle;
+  // Declared before the joint predictor, which holds a pointer to it and
+  // uses it during its own construction.
   common::ThreadPool pool;
-  vv::VideoStore store;
+  const vv::VideoGenerator& generator;
+  const vv::CellGrid& grid;
+  const vv::VideoStore& store;
+  // Per-video-frame occupancy at the top tier (drives visibility).
+  const std::vector<std::vector<std::uint32_t>>& occupancy;
   view::JointViewportPredictor joint;
   std::vector<BeamDesigner> designers;  // one per AP
   BlockageMitigator mitigator;
-
-  // Per-video-frame occupancy at the top tier (drives visibility).
-  std::vector<std::vector<std::uint32_t>> occupancy;
 
   // Per-user state.
   struct User {
@@ -162,9 +167,6 @@ struct SessionState {
   static const BeamDesigner& designers_placeholder();
 
   static MultiApConfig multi_ap_config(const SessionConfig& c);
-  static vv::VideoConfig video_config(const SessionConfig& c);
-  static vv::VideoStoreConfig store_config(const SessionConfig& c,
-                                           common::ThreadPool* pool);
   static view::JointPredictorConfig joint_config(const SessionConfig& c,
                                                  const Testbed& tb,
                                                  common::ThreadPool* pool);

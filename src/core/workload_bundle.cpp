@@ -1,0 +1,197 @@
+#include "core/workload_bundle.h"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/session.h"
+
+namespace volcast::core {
+namespace {
+
+// FNV-1a64 over little-endian bytes — the same construction the checkpoint
+// fingerprint uses, kept separate so the bundle hash is stable on its own.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::atomic<std::uint64_t> g_builds{0};
+
+vv::VideoConfig video_config(const WorkloadKey& key) {
+  vv::VideoConfig vc;
+  vc.points_per_frame = static_cast<std::size_t>(key.master_points);
+  vc.frame_count = static_cast<std::size_t>(key.video_frames);
+  vc.fps = key.fps;
+  vc.seed = key.video_seed;
+  return vc;
+}
+
+vv::VideoStoreConfig store_config(const WorkloadKey& key,
+                                  common::ThreadPool* pool) {
+  vv::VideoStoreConfig sc;
+  // Scale the paper's 330K/430K/550K tier ladder to the configured
+  // master point budget.
+  const double scale = static_cast<double>(key.master_points) / 550'000.0;
+  sc.tiers = {{"low", static_cast<std::size_t>(330'000 * scale)},
+              {"med", static_cast<std::size_t>(430'000 * scale)},
+              {"high", static_cast<std::size_t>(key.master_points)}};
+  sc.sample_frames = 1;
+  sc.pool = pool;
+  return sc;
+}
+
+}  // namespace
+
+WorkloadKey WorkloadKey::from(const SessionConfig& config) {
+  WorkloadKey key;
+  // content_seed decouples the video identity from the session seed so
+  // fleet slots (seed + k) can stream the *same* content and share both
+  // tiles and this bundle.
+  key.video_seed = config.content_seed != 0 ? config.content_seed
+                                            : (config.seed ^ 0xc0ffee);
+  key.master_points = config.master_points;
+  key.video_frames = config.video_frames;
+  key.fps = config.fps;
+  key.cell_size_m = config.cell_size_m;
+  return key;
+}
+
+std::uint64_t WorkloadKey::hash() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_u64(h, video_seed);
+  h = fnv_u64(h, master_points);
+  h = fnv_u64(h, video_frames);
+  h = fnv_u64(h, std::bit_cast<std::uint64_t>(fps));
+  h = fnv_u64(h, std::bit_cast<std::uint64_t>(cell_size_m));
+  return h;
+}
+
+std::uint64_t workload_bundle_hash(const SessionConfig& config) {
+  return WorkloadKey::from(config).hash();
+}
+
+void WorkloadBundle::mutate_guard(const char* what) const {
+  if (frozen())
+    throw std::logic_error(std::string("WorkloadBundle: ") + what +
+                           " after freeze() — the bundle is immutable once "
+                           "sessions can share it");
+}
+
+const void* WorkloadBundle::built_guard(const void* artifact,
+                                        const char* what) const {
+  if (artifact == nullptr)
+    throw std::logic_error(std::string("WorkloadBundle: ") + what +
+                           " accessed before the bundle was built");
+  return artifact;
+}
+
+void WorkloadBundle::build_artifacts(std::size_t worker_threads) {
+  mutate_guard("build_artifacts()");
+  g_builds.fetch_add(1, std::memory_order_relaxed);
+
+  auto generator = std::make_unique<vv::VideoGenerator>(video_config(key_));
+  auto grid = std::make_unique<vv::CellGrid>(generator->content_bounds(),
+                                             key_.cell_size_m);
+  // A bundle-local pool for the store precompute: the size tables are
+  // bit-identical at any thread count, so sharing them across sessions
+  // with different worker_threads settings is sound.
+  common::ThreadPool pool(worker_threads);
+  auto store = std::make_unique<vv::VideoStore>(*generator, *grid,
+                                               store_config(key_, &pool));
+
+  // Per-video-frame occupancy at the top tier (drives visibility).
+  std::vector<std::vector<std::uint32_t>> occupancy;
+  occupancy.reserve(static_cast<std::size_t>(key_.video_frames));
+  const std::size_t top = store->tier_count() - 1;
+  for (std::size_t f = 0; f < key_.video_frames; ++f) {
+    std::vector<std::uint32_t> occ(grid->cell_count());
+    for (vv::CellId cell = 0; cell < grid->cell_count(); ++cell)
+      occ[cell] = store->cell_points(f, top, cell);
+    occupancy.push_back(std::move(occ));
+  }
+
+  generator_ = std::move(generator);
+  grid_ = std::move(grid);
+  store_ = std::move(store);
+  occupancy_ = std::move(occupancy);
+  has_occupancy_ = true;
+}
+
+void WorkloadBundle::install_video(std::unique_ptr<vv::VideoGenerator> generator,
+                                   std::unique_ptr<vv::CellGrid> grid,
+                                   std::unique_ptr<vv::VideoStore> store) {
+  mutate_guard("install_video()");
+  if (generator == nullptr || grid == nullptr || store == nullptr)
+    throw std::invalid_argument(
+        "WorkloadBundle::install_video: all artifacts must be non-null");
+  generator_ = std::move(generator);
+  grid_ = std::move(grid);
+  store_ = std::move(store);
+}
+
+void WorkloadBundle::install_occupancy(
+    std::vector<std::vector<std::uint32_t>> occupancy) {
+  mutate_guard("install_occupancy()");
+  occupancy_ = std::move(occupancy);
+  has_occupancy_ = true;
+}
+
+void WorkloadBundle::freeze() {
+  mutate_guard("freeze()");
+  if (generator_ == nullptr || grid_ == nullptr || store_ == nullptr ||
+      !has_occupancy_)
+    throw std::logic_error(
+        "WorkloadBundle::freeze: artifacts missing — build_artifacts() or "
+        "install them before freezing");
+  frozen_.store(true, std::memory_order_release);
+}
+
+std::shared_ptr<const WorkloadBundle> WorkloadBundle::build(
+    const SessionConfig& config) {
+  auto bundle = std::make_shared<WorkloadBundle>(WorkloadKey::from(config));
+  bundle->build_artifacts(config.worker_threads);
+  bundle->freeze();
+  return bundle;
+}
+
+const vv::VideoGenerator& WorkloadBundle::generator() const {
+  return *static_cast<const vv::VideoGenerator*>(
+      built_guard(generator_.get(), "generator"));
+}
+
+const vv::CellGrid& WorkloadBundle::grid() const {
+  return *static_cast<const vv::CellGrid*>(built_guard(grid_.get(), "grid"));
+}
+
+const vv::VideoStore& WorkloadBundle::store() const {
+  return *static_cast<const vv::VideoStore*>(
+      built_guard(store_.get(), "store"));
+}
+
+const std::vector<std::vector<std::uint32_t>>& WorkloadBundle::occupancy()
+    const {
+  if (!has_occupancy_)
+    throw std::logic_error(
+        "WorkloadBundle: occupancy accessed before the bundle was built");
+  return occupancy_;
+}
+
+std::span<const std::uint32_t> WorkloadBundle::occupancy(
+    std::size_t frame) const {
+  return occupancy().at(frame);
+}
+
+std::uint64_t WorkloadBundle::builds_total() noexcept {
+  return g_builds.load(std::memory_order_relaxed);
+}
+
+}  // namespace volcast::core

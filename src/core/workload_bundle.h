@@ -1,0 +1,156 @@
+// Shared immutable workload artifacts: one VideoStore, ten thousand
+// sessions.
+//
+// Per-session setup (generating the video, precomputing the codec size
+// tables and octrees, deriving the per-frame occupancy that drives
+// visibility) costs ~0.24-0.32 s — which dwarfs run time for short
+// sessions and scales fleet serial time linearly with slot count. But all
+// of those artifacts are pure functions of the *workload identity* (video
+// seed, point budget, frame count, fps, cell size), not of the audience:
+// every fleet slot streaming the same content recomputes byte-identical
+// tables. The WorkloadBundle hoists them into a single reference-counted,
+// frozen artifact set built once per fleet and read concurrently by every
+// slot — the same encode-once/serve-many amortization the tile cache
+// applies to the wire, applied to the setup path.
+//
+// Ownership / copy-on-write rules:
+//  * The bundle is built (or installed) while unfrozen, then freeze()d.
+//    After freeze every mutator throws std::logic_error; only const
+//    accessors remain — shared reads are race-free by construction, and
+//    the TSan suite pins that (tests/test_workload_bundle.cpp).
+//  * Artifacts are heap-allocated so their addresses survive handoff; the
+//    VideoStore's interior CellGrid pointer stays valid for the bundle's
+//    whole lifetime.
+//  * Nothing a session mutates lives here. Per-session state (players,
+//    predictors, RNG streams, per-user health) is copied out of / derived
+//    from the bundle at session construction — copy-on-write with session
+//    granularity: a session that needs divergent artifacts simply builds a
+//    private bundle (the legacy path is exactly that, one private bundle
+//    per session).
+//  * Identity is the WorkloadKey; its hash() is the bundle hash folded
+//    into the fleet checkpoint fingerprint (checkpoint v4), so a resumed
+//    run rejects a checkpoint taken against different shared content.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pointcloud/cell_grid.h"
+#include "pointcloud/video_generator.h"
+#include "pointcloud/video_store.h"
+
+namespace volcast::core {
+
+struct SessionConfig;  // core/session.h
+
+/// Identity of one workload's immutable artifact set: every SessionConfig
+/// field that determines the generated video, the cell grid, the codec
+/// size tables and the occupancy precompute — and nothing else. Two
+/// configs with equal keys produce byte-identical artifacts and may share
+/// one bundle; audience fields (users, seeds beyond the video seed,
+/// ablation switches, policies) deliberately do not participate.
+struct WorkloadKey {
+  /// The video's content seed: SessionConfig::content_seed when nonzero,
+  /// else derived from the session seed (seed ^ 0xc0ffee) — the same rule
+  /// the tile cache uses for content fingerprints.
+  std::uint64_t video_seed = 0;
+  std::uint64_t master_points = 0;
+  std::uint64_t video_frames = 0;
+  double fps = 30.0;
+  double cell_size_m = 0.5;
+
+  [[nodiscard]] static WorkloadKey from(const SessionConfig& config);
+
+  [[nodiscard]] bool operator==(const WorkloadKey& other) const noexcept {
+    return video_seed == other.video_seed &&
+           master_points == other.master_points &&
+           video_frames == other.video_frames && fps == other.fps &&
+           cell_size_m == other.cell_size_m;
+  }
+
+  /// FNV-1a64 over the canonical little-endian field encoding (doubles as
+  /// raw IEEE-754 bits) — the bundle hash recorded in checkpoint v4.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+};
+
+/// Bundle hash a config would build — computable without building the
+/// bundle, so run_fleet can fingerprint resumes cheaply.
+[[nodiscard]] std::uint64_t workload_bundle_hash(const SessionConfig& config);
+
+/// The immutable artifact set. Typical use is the one-liner
+/// WorkloadBundle::build(config); the two-phase constructor + install /
+/// build_artifacts + freeze path exists for callers that bring their own
+/// artifacts (e.g. a VideoStore deserialized from disk) and for the
+/// immutability-guard tests.
+class WorkloadBundle {
+ public:
+  explicit WorkloadBundle(WorkloadKey key) : key_(key) {}
+
+  WorkloadBundle(const WorkloadBundle&) = delete;
+  WorkloadBundle& operator=(const WorkloadBundle&) = delete;
+
+  /// Builds video + store + occupancy from the key, in one call: exactly
+  /// the tables SessionState used to build per session, bit-identical at
+  /// any worker thread count. Throws std::logic_error once frozen.
+  void build_artifacts(std::size_t worker_threads = 1);
+
+  /// Installs externally built artifacts (the store must have been built
+  /// against *grid). Throws std::logic_error once frozen.
+  void install_video(std::unique_ptr<vv::VideoGenerator> generator,
+                     std::unique_ptr<vv::CellGrid> grid,
+                     std::unique_ptr<vv::VideoStore> store);
+  /// Installs the per-frame top-tier occupancy tables (visibility
+  /// precompute). Throws std::logic_error once frozen.
+  void install_occupancy(std::vector<std::vector<std::uint32_t>> occupancy);
+
+  /// Seals the bundle: mutators throw from now on, const accessors are
+  /// free-threaded. Throws std::logic_error when artifacts are missing —
+  /// a frozen bundle is always complete.
+  void freeze();
+
+  /// Builds and freezes a bundle for `config` (worker_threads taken from
+  /// the config). The standard entry point: run_fleet and SessionState
+  /// both funnel through here, which is what the build counter counts.
+  [[nodiscard]] static std::shared_ptr<const WorkloadBundle> build(
+      const SessionConfig& config);
+
+  [[nodiscard]] bool frozen() const noexcept {
+    return frozen_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const WorkloadKey& key() const noexcept { return key_; }
+  /// == key().hash(); the checkpoint-v4 bundle hash.
+  [[nodiscard]] std::uint64_t hash() const noexcept { return key_.hash(); }
+
+  // Const accessors: throw std::logic_error while the artifact is missing
+  // (an unbuilt bundle), never after freeze().
+  [[nodiscard]] const vv::VideoGenerator& generator() const;
+  [[nodiscard]] const vv::CellGrid& grid() const;
+  [[nodiscard]] const vv::VideoStore& store() const;
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& occupancy()
+      const;
+  /// Top-tier occupancy row of one video frame.
+  [[nodiscard]] std::span<const std::uint32_t> occupancy(
+      std::size_t frame) const;
+
+  /// Process-lifetime count of build_artifacts() calls — the "peak bundle
+  /// builds == 1" observability hook the fleet tests assert through.
+  [[nodiscard]] static std::uint64_t builds_total() noexcept;
+
+ private:
+  void mutate_guard(const char* what) const;
+  const void* built_guard(const void* artifact, const char* what) const;
+
+  WorkloadKey key_;
+  std::atomic<bool> frozen_{false};
+  // Heap-allocated for address stability: the store points at the grid.
+  std::unique_ptr<vv::VideoGenerator> generator_;
+  std::unique_ptr<vv::CellGrid> grid_;
+  std::unique_ptr<vv::VideoStore> store_;
+  std::vector<std::vector<std::uint32_t>> occupancy_;
+  bool has_occupancy_ = false;
+};
+
+}  // namespace volcast::core

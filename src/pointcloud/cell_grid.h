@@ -19,6 +19,12 @@ using CellId = std::uint32_t;
 /// The grid geometry is fixed for the whole video (built from the union of
 /// all frame bounds) so that cell ids are stable across frames — a
 /// requirement for visibility maps and per-cell rate adaptation.
+///
+/// Thread safety: immutable after construction; every member function is
+/// const and touches only construction-time state, so concurrent queries
+/// from any number of threads are race-free (a shared core::WorkloadBundle
+/// relies on this). Note VideoStore aliases the grid by pointer — keep the
+/// grid alive for as long as any store built on it.
 class CellGrid {
  public:
   /// Covers `content_bounds` with cubes of edge `cell_size_m`.

@@ -32,6 +32,10 @@ struct VideoConfig {
 /// Deterministic articulated-figure video. `frame(i)` is a pure function of
 /// (config, i): the same index always yields the same cloud, so streaming
 /// components can regenerate frames instead of buffering them.
+///
+/// Thread safety: the generator holds only its (const) config, so frame()
+/// and every other member may be called concurrently without locking —
+/// sessions sharing one core::WorkloadBundle do exactly that.
 class VideoGenerator {
  public:
   explicit VideoGenerator(VideoConfig config);

@@ -56,6 +56,15 @@ struct VideoStoreConfig {
 };
 
 /// Precomputed per-frame/per-tier/per-cell sizes of a generated video.
+///
+/// Thread safety: once constructed (or deserialized), a VideoStore is
+/// immutable — every public member function is const and reads only state
+/// written during construction. Any number of threads may query one store
+/// concurrently without synchronization. This is what lets a shared
+/// core::WorkloadBundle serve one store to a whole fleet of sessions. The
+/// store aliases the CellGrid passed to its constructor (it keeps a
+/// pointer, not a copy), so the grid must outlive it and must be equally
+/// immutable for the guarantee to hold.
 class VideoStore {
  public:
   /// Builds the store by generating (and thinning, and encoding) frames.

@@ -104,6 +104,9 @@ struct VisibilityOptions {
 /// per-cell point counts `occupancy` of the current frame.
 /// `others` lists other people in the room for user-user occlusion (pass
 /// empty for single-user ViVo semantics).
+/// Pure function of its arguments: `grid` and `occupancy` are only read, so
+/// many sessions may compute visibility against one shared WorkloadBundle's
+/// grid/occupancy concurrently.
 [[nodiscard]] VisibilityMap compute_visibility(
     const vv::CellGrid& grid, std::span<const std::uint32_t> occupancy,
     const geo::Pose& pose, const VisibilityOptions& options = {},

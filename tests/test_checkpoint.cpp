@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/endian.h"
+#include "core/workload_bundle.h"
 #include "fault/fault_plan.h"
 #include "session_compare.h"
 
@@ -80,6 +81,7 @@ SessionResult sample_result(std::uint64_t salt) {
 FleetCheckpoint sample_checkpoint() {
   FleetCheckpoint ckpt;
   ckpt.fingerprint = 0x1234'5678'9abc'def0ULL;
+  ckpt.bundle_hash = 0x0fed'cba9'8765'4321ULL;
   ckpt.slot_count = 5;
   for (std::uint32_t slot : {0u, 2u, 4u}) {
     SlotRecord rec;
@@ -118,6 +120,7 @@ TEST(Checkpoint, SerializeDeserializeRoundTripsBitExactly) {
   const FleetCheckpoint ckpt = sample_checkpoint();
   const FleetCheckpoint back = deserialize_checkpoint(serialize_checkpoint(ckpt));
   EXPECT_EQ(back.fingerprint, ckpt.fingerprint);
+  EXPECT_EQ(back.bundle_hash, ckpt.bundle_hash);
   EXPECT_EQ(back.slot_count, ckpt.slot_count);
   ASSERT_EQ(back.records.size(), ckpt.records.size());
   for (std::size_t i = 0; i < ckpt.records.size(); ++i) {
@@ -189,14 +192,15 @@ TEST(Checkpoint, BoundsChecksHoldEvenWithAValidChecksum) {
                CheckpointError);
   EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 4, 0x7f)),
                CheckpointError);
-  // Absurd record count (offset 20): must be rejected before allocation.
-  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 23, 0xff)),
+  // Absurd record count (offset 28, after the v4 bundle_hash): must be
+  // rejected before allocation.
+  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 31, 0xff)),
                CheckpointError);
-  // First record's slot (offset 24) beyond slot_count.
-  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 24, 0xee)),
+  // First record's slot (offset 32) beyond slot_count.
+  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 32, 0xee)),
                CheckpointError);
-  // Invalid status enumerator (offset 28).
-  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 28, 0x9)),
+  // Invalid status enumerator (offset 36).
+  EXPECT_THROW((void)deserialize_checkpoint(resealed(blob, 36, 0x9)),
                CheckpointError);
 }
 
@@ -306,6 +310,36 @@ TEST(Checkpoint, ResumeRejectsAForeignConfiguration) {
   other.session.seed = 99;  // different workload, same shape
   other.resume_file = file.path();
   EXPECT_THROW((void)run_fleet(other), CheckpointError);
+}
+
+TEST(Checkpoint, ResumeRejectsAMismatchedBundleHashSpecifically) {
+  // A checkpoint whose recorded bundle hash disagrees with the resuming
+  // fleet's workload must fail with the bundle-specific message — the
+  // shared-content analogue of the fingerprint check, and the guard that
+  // keeps a resumed fleet from silently reading different artifacts.
+  const TempFile file("bundlehash.vckp");
+  FleetConfig fc = tiny_fleet(3);
+  fc.session.content_seed = 4242;
+  fc.checkpoint_file = file.path();
+  fc.kill_after_slots = 1;
+  EXPECT_THROW((void)run_fleet(fc), FleetKilled);
+
+  FleetCheckpoint ckpt = load_checkpoint(file.path());
+  EXPECT_EQ(ckpt.bundle_hash, workload_bundle_hash(fc.session));
+  ckpt.bundle_hash ^= 1;  // fingerprint untouched: only the bundle check fires
+  save_checkpoint(ckpt, file.path());
+
+  fc.kill_after_slots = 0;
+  fc.checkpoint_file.clear();
+  fc.resume_file = file.path();
+  try {
+    (void)run_fleet(fc);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& err) {
+    EXPECT_NE(std::string(err.what()).find("workload bundle hash"),
+              std::string::npos)
+        << err.what();
+  }
 }
 
 TEST(Checkpoint, ContinueInPlaceUsesOneFileForBothRoles) {

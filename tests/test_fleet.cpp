@@ -6,6 +6,8 @@
 
 #include <stdexcept>
 
+#include "core/workload_bundle.h"
+#include "fault/fault_plan.h"
 #include "obs/telemetry.h"
 #include "session_compare.h"
 
@@ -92,6 +94,42 @@ TEST(Fleet, AggregatesFoldAllUsers) {
   EXPECT_LE(fleet.p50_displayed_fps, fleet.p95_displayed_fps);
   EXPECT_GE(fleet.mean_stall_ratio, 0.0);
   EXPECT_GE(fleet.mean_quality_tier, 0.0);
+}
+
+TEST(Fleet, RetryAndQuarantineNeverRebuildTheSharedBundle) {
+  // Crash-prone fleet with pinned content: retries redraw the *session*
+  // seed, never the workload identity, so the shared bundle built up front
+  // must serve every attempt of every slot — including the ones that
+  // exhaust their retry budget and quarantine.
+  fault::FaultPlan plan;
+  fault::FaultEvent e;
+  e.t_s = 0.2;
+  e.kind = fault::FaultKind::kSessionCrash;
+  e.target = 7;      // free draw salt
+  e.magnitude = 0.6; // crash probability per attempt
+  plan.add(e);
+
+  FleetConfig fc = fast_fleet(8);
+  fc.session.content_seed = 4242;
+  fc.session.fault_plan = plan;
+  fc.supervision.max_retries = 2;
+
+  const std::uint64_t before = WorkloadBundle::builds_total();
+  const FleetResult fleet = run_fleet(fc);
+  EXPECT_EQ(WorkloadBundle::builds_total() - before, 1u);
+  // The crash plan must actually have exercised the retry machinery —
+  // otherwise this test proves nothing about the retry path.
+  std::size_t attempts = 0;
+  for (const SlotOutcome& o : fleet.outcomes) attempts += o.attempts;
+  EXPECT_GT(attempts, fc.sessions)
+      << "crash plan drew no crashes; pick a different seed";
+
+  // Same fleet without sharing pays one build per attempt: the delta is
+  // the amortization the bundle exists for.
+  fc.share_bundle = false;
+  const std::uint64_t legacy_before = WorkloadBundle::builds_total();
+  expect_fleet_identical(fleet, run_fleet(fc));
+  EXPECT_EQ(WorkloadBundle::builds_total() - legacy_before, attempts);
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+// 1000-slot fleet smoke (ctest label `slow`): the scale the shared
+// WorkloadBundle exists for. One bundle build serves a thousand supervised
+// slots; a kill after 120 checkpointed slots followed by a resume
+// reproduces the uninterrupted fleet bit for bit, with exactly one bundle
+// build per run_fleet call and the v4 bundle hash recorded in the
+// checkpoint.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/fleet.h"
+#include "core/workload_bundle.h"
+#include "session_compare.h"
+
+namespace volcast::core {
+namespace {
+
+FleetConfig thousand_fleet() {
+  FleetConfig fc;
+  fc.session.user_count = 1;
+  fc.session.duration_s = 0.25;
+  fc.session.master_points = 10'000;
+  fc.session.video_frames = 6;
+  fc.session.worker_threads = 1;
+  fc.session.content_seed = 31337;  // pinned: one video, a thousand viewers
+  fc.sessions = 1000;
+  fc.parallel_sessions = 1;
+  return fc;
+}
+
+TEST(ThousandSlotSmoke, KillResumeBitIdenticalWithOneBundleBuildPerRun) {
+  const std::string ckpt_path =
+      (std::filesystem::temp_directory_path() / "volcast_smoke_1k.vckp")
+          .string();
+  std::remove(ckpt_path.c_str());
+
+  FleetConfig fc = thousand_fleet();
+
+  std::uint64_t before = WorkloadBundle::builds_total();
+  const FleetResult uninterrupted = run_fleet(fc);
+  EXPECT_EQ(WorkloadBundle::builds_total() - before, 1u)
+      << "an uninterrupted 1000-slot fleet must build the bundle once";
+  EXPECT_EQ(uninterrupted.sessions.size(), 1000u);
+  EXPECT_EQ(uninterrupted.aborted_slots, 0u);
+  EXPECT_EQ(uninterrupted.total_users, 1000u);
+
+  // Operator kill after 120 newly checkpointed slots.
+  fc.checkpoint_file = ckpt_path;
+  fc.kill_after_slots = 120;
+  before = WorkloadBundle::builds_total();
+  EXPECT_THROW((void)run_fleet(fc), FleetKilled);
+  EXPECT_EQ(WorkloadBundle::builds_total() - before, 1u);
+  {
+    const FleetCheckpoint ckpt = load_checkpoint(ckpt_path);
+    EXPECT_EQ(ckpt.slot_count, 1000u);
+    EXPECT_EQ(ckpt.records.size(), 120u);
+    EXPECT_EQ(ckpt.bundle_hash, workload_bundle_hash(fc.session));
+  }
+
+  // Resume the remaining 880 slots: bit-identical to the uninterrupted
+  // run, again from a single bundle build.
+  fc.checkpoint_file.clear();
+  fc.kill_after_slots = 0;
+  fc.resume_file = ckpt_path;
+  before = WorkloadBundle::builds_total();
+  const FleetResult resumed = run_fleet(fc);
+  EXPECT_EQ(WorkloadBundle::builds_total() - before, 1u);
+  expect_fleet_identical(uninterrupted, resumed);
+
+  std::remove(ckpt_path.c_str());
+}
+
+}  // namespace
+}  // namespace volcast::core

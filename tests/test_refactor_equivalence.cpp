@@ -11,6 +11,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/workload_bundle.h"
 #include "session_golden.h"
 
 #ifndef VOLCAST_GOLDEN_DIR
@@ -62,6 +63,31 @@ TEST_P(RefactorEquivalence, MatchesPreRefactorGoldens) {
     }
     EXPECT_FALSE(std::getline(got_in, got_line))
         << c.name << ": extra serialized field " << got_line;
+  }
+}
+
+TEST_P(RefactorEquivalence, MatchesGoldensWithOneSharedBundle) {
+  // The whole ablation matrix keeps the same workload identity (seed 7,
+  // 30k points, 20 frames), so ONE shared bundle must serve every case —
+  // and reproduce the pre-refactor golden file byte for byte, proving the
+  // shared-setup path changes wall clock only, never results.
+  const std::size_t threads = GetParam();
+  const auto goldens = load_goldens();
+  ASSERT_FALSE(goldens.empty());
+  const std::vector<GoldenCase> matrix = golden_matrix();
+  std::shared_ptr<const WorkloadBundle> bundle;
+  for (const GoldenCase& c : matrix) {
+    SessionConfig config = c.config;
+    config.worker_threads = threads;
+    if (bundle == nullptr) bundle = WorkloadBundle::build(config);
+    ASSERT_TRUE(bundle->key() == WorkloadKey::from(config))
+        << "case " << c.name << " broke the shared workload identity";
+    config.bundle = bundle;
+    Session session(config);
+    const std::string got = serialize_result(c.name, session.run());
+    const auto it = goldens.find(c.name);
+    ASSERT_NE(it, goldens.end()) << "no golden block for case " << c.name;
+    EXPECT_EQ(got, it->second) << "case " << c.name;
   }
 }
 

@@ -75,6 +75,17 @@ import json, os, subprocess, sys
 
 tol = float(os.environ.get("VOLCAST_BENCH_TOLERANCE", "0.20"))
 
+# Build-type guard: a debug-built library produced the stale 0.76-1.01x
+# run_speedup baselines this file once carried — never let non-Release
+# numbers gate (or seed) the trajectory again.
+with open("BENCH_scaling.json") as f:
+    build_type = json.load(f).get("context", {}).get("library_build_type")
+if build_type != "Release":
+    print(f"ci_bench: FAIL — benchmarks ran against a "
+          f"'{build_type}' build; only Release numbers may gate or seed "
+          f"the baselines")
+    sys.exit(1)
+
 def committed(path):
     """The baseline committed at HEAD, or None when this run seeds it."""
     try:
@@ -154,6 +165,24 @@ else:
                     fails.append(
                         f"fleet sessions={e['sessions']} {key}: "
                         f"{ratio:.2f}x baseline")
+    # Setup amortization: the shared-WorkloadBundle acceptance bar. An
+    # 8-slot fleet's total setup (bundle build + 8 bundled constructions)
+    # must stay within 1.5x one session's setup — the absolute gate — and
+    # the timed entries also ride the usual wall-clock tolerance.
+    cur_setup = cur.get("fleet", {}).get("setup", {})
+    if cur_setup:
+        if cur_setup["amortization_8"] > 1.5:
+            fails.append(
+                f"fleet setup amortization_8: "
+                f"{cur_setup['amortization_8']:.2f}x > 1.5x single-session "
+                f"setup (lost the shared-bundle win)")
+        ref_setup = base.get("fleet", {}).get("setup", {})
+        for key in ("single_s", "shared8_s"):
+            if ref_setup.get(key, 0) >= 0.25:
+                ratio = cur_setup[key] / ref_setup[key]
+                if ratio > 1 + tol:
+                    fails.append(
+                        f"fleet setup {key}: {ratio:.2f}x baseline")
     # Tile cache: encode_ratio and hit_rate are deterministic logical
     # quantities (first-touch accounting / serial fleet run), so they gate
     # exactly — any drift is a behavior change, not noise. Wall clock

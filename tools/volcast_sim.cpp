@@ -20,6 +20,7 @@
 #include "common/table.h"
 #include "core/checkpoint.h"
 #include "core/fleet.h"
+#include "core/workload_bundle.h"
 #include "core/session.h"
 #include "fault/fault_plan.h"
 #include "obs/telemetry.h"
@@ -180,6 +181,12 @@ int main(int argc, char** argv) {
                    "pin the video content identity regardless of --seed "
                    "(0 = derive from --seed); lets fleet slots stream the "
                    "same content and share tiles across the fleet cache");
+  flags.add_switch("bundle",
+                   "share one workload bundle (generated video, codec "
+                   "tables, occupancy precompute) across all --fleet slots "
+                   "instead of rebuilding per slot; pins --content-seed to "
+                   "--seed when unset so every slot streams the same "
+                   "content");
   flags.add_number("fleet", 0,
                    "run N independently-seeded sessions (seed, seed+1, ...) "
                    "and print aggregate fleet statistics (0 = single "
@@ -294,6 +301,8 @@ int main(int argc, char** argv) {
   if (flags.on("tile-cache") && config.policy_overrides.count("tiling") == 0)
     config.policy_overrides["tiling"] = "shared";
   config.content_seed = flags.u64("content-seed");
+  if (flags.on("bundle") && config.content_seed == 0)
+    config.content_seed = config.seed != 0 ? config.seed : 1;
 
   const std::string replay_dir = flags.str("replay");
   if (!replay_dir.empty()) {
@@ -371,6 +380,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(config.seed),
                 static_cast<unsigned long long>(config.seed + fc.sessions - 1),
                 config.duration_s);
+    if (config.content_seed != 0)
+      std::printf("bundle: one shared workload bundle %016llx (content "
+                  "seed %llu) served every slot's setup\n",
+                  static_cast<unsigned long long>(
+                      workload_bundle_hash(fc.session)),
+                  static_cast<unsigned long long>(config.content_seed));
     std::printf("supported users %zu / %zu (>= %.1f fps)\n",
                 fleet.supported_users, fleet.total_users,
                 fc.supported_fps_threshold);
